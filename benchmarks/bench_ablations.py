@@ -1,0 +1,40 @@
+"""Ablation benches for the BST design choices (DESIGN.md Section 5)."""
+
+
+def test_ablation_upload_first(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ablation-upload-first")
+    m = result.metrics
+    assert m["bst_accuracy"] > m["download_first_accuracy"] + 0.05
+
+
+def test_ablation_clusterer(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ablation-clusterer")
+    m = result.metrics
+    assert m["gmm_upload_accuracy"] > 0.96
+    assert m["gmm_tier_accuracy"] >= m["kmeans_tier_accuracy"] - 0.02
+
+
+def test_ablation_seeding(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ablation-seeding")
+    m = result.metrics
+    # Catalog knowledge matters most on noisy crowdsourced uploads.
+    assert (
+        m["seeded_city_upload_accuracy"]
+        >= m["blind_city_upload_accuracy"]
+    )
+
+
+def test_ablation_joint_2d(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ablation-joint-2d")
+    m = result.metrics
+    # On wired data both designs resolve the tiers ...
+    assert m["staged_mba"] > 0.95
+    # ... on crowdsourced data the staged design must dominate.
+    assert m["staged_city"] > m["joint_city"] + 0.1
+
+
+def test_ablation_consistency_metric(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ablation-consistency-metric")
+    m = result.metrics
+    assert m["upload_mean_p95"] > m["download_mean_p95"]
+    assert m["upload_median_p95"] > m["download_median_p95"]

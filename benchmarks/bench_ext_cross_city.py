@@ -1,0 +1,6 @@
+"""Cross-city verification bench (the paper's consistency claim)."""
+
+
+def test_ext_cross_city(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ext-cross-city")
+    assert result.metrics["all_hold"] == 1.0

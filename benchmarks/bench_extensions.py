@@ -1,0 +1,61 @@
+"""Extension benches: modem bottleneck, geolocation, metadata audit."""
+
+
+def test_ext_modem(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ext-modem")
+    m = result.metrics
+    # A visible share of gigabit-plan tests collapses to the 8x4 ceiling.
+    assert m["capped_share_modem"] > m["capped_share_base"] + 0.03
+    assert m["median_base"] >= m["median_modem"]
+
+
+def test_ext_geolocation(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ext-geolocation")
+    m = result.metrics
+    # Section 3.4 quantified: GPS localises, IP geolocation does not.
+    assert m["gps_accuracy"] > 0.5
+    assert m["ip_accuracy"] < 0.05
+
+
+def test_ext_latency(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ext-latency")
+    m = result.metrics
+    assert m["WiFi_median_ms"] > m["Ethernet_median_ms"]
+    assert m["2.4 GHz_median_ms"] > m["5 GHz_median_ms"]
+
+
+def test_ext_debias(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ext-debias")
+    m = result.metrics
+    assert m["uniform_debiased_median"] > m["raw_median"]
+    assert m["panel_debiased_median"] > m["raw_median"]
+
+
+def test_ext_paired_vendors(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ext-paired-vendors")
+    m = result.metrics
+    # With household and hour held fixed, Ookla wins most homes and the
+    # gap grows with the tier.
+    assert m["overall_paired_lag"] > 1.0
+    assert m["ookla_wins_Tier 6"] > 0.6
+    assert m["paired_lag_Tier 6"] >= m["paired_lag_Tier 1-3"]
+
+
+def test_ablation_transfer(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ablation-transfer")
+    m = result.metrics
+    # Shape agreement between the scalar and dynamic models:
+    # single-flow efficiency collapses with capacity, multi-flow holds.
+    assert m["dynamic_single_1200"] < m["dynamic_single_100"]
+    assert m["dynamic_multi_1200"] > 0.8
+    assert m["scalar_single_1200"] < m["scalar_multi_1200"]
+
+
+def test_ext_metadata(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "ext-metadata")
+    m = result.metrics
+    assert (
+        m["interpretability|Ookla (contextualised)"]
+        > m["interpretability|M-Lab (joined)"]
+    )
+    assert m["interpretability|M-Lab (joined)"] < 0.3

@@ -1,0 +1,12 @@
+"""Figure 1: raw vs contextualised City-A download distributions."""
+
+
+def test_fig1_motivating_example(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig1")
+    m = result.metrics
+    # Paper shape: Tier 1 ~6x below the city median; Tier 6 Ethernet the
+    # fastest series, several times the city median.
+    assert m["tier1_median_mbps"] < m["city_median_mbps"] / 2.5
+    assert m["tier6_median_mbps"] > m["city_median_mbps"] * 1.5
+    assert m["tier6_ethernet_median_mbps"] > m["city_median_mbps"] * 4
+    assert m["tier6_ethernet_median_mbps"] >= m["tier6_best_median_mbps"]

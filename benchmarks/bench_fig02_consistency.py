@@ -1,0 +1,9 @@
+"""Figure 2: per-user consistency factor, download vs upload."""
+
+
+def test_fig2_consistency_factor(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig2")
+    m = result.metrics
+    # Paper: upload (0.87) markedly more consistent than download (0.58).
+    assert m["median_upload_cf"] > m["median_download_cf"] + 0.08
+    assert m["n_users"] > 100

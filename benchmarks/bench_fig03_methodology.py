@@ -1,0 +1,10 @@
+"""Figure 3: the BST methodology overview, generated from the code."""
+
+
+def test_fig3_methodology_overview(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig3")
+    m = result.metrics
+    assert m["n_groups_A"] == 4.0
+    assert m["n_groups_D"] == 3.0
+    text = result.render()
+    assert "Stage one" in text and "Stage two" in text

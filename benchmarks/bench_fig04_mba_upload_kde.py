@@ -1,0 +1,14 @@
+"""Figure 4: MBA State-A upload density peaks and cluster means."""
+
+
+def test_fig4_mba_upload_density(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig4")
+    m = result.metrics
+    assert m["n_peaks"] == 4.0
+    # Cluster means near (and slightly above) the offered uploads,
+    # mirroring the paper's 5.87 / 11.55 / 17.57 / 38.62.
+    for label, offered in (
+        ("Tier 2-3", 5), ("Tier 4", 10), ("Tier 5", 15), ("Tier 6", 35),
+    ):
+        mean = m[f"cluster_mean_{label}"]
+        assert offered * 0.95 < mean < offered * 1.35, label

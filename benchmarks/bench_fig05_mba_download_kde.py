@@ -1,0 +1,16 @@
+"""Figure 5: download clusters within each MBA State-A upload group."""
+
+
+def test_fig5_mba_download_clusters(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig5")
+    m = result.metrics
+    # Over-provisioning: tiers 2-3 top cluster above the 200 Mbps plan.
+    assert m["top_cluster_mean_Tier 2-3"] > 200
+    # Saturation shortfall: the 1200 Mbps tier measures well below plan.
+    assert 600 < m["top_cluster_mean_Tier 6"] < 1100
+    # Tier ordering preserved.
+    assert (
+        m["top_cluster_mean_Tier 2-3"]
+        < m["top_cluster_mean_Tier 4"]
+        < m["top_cluster_mean_Tier 5"]
+    )

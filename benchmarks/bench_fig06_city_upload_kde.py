@@ -1,0 +1,10 @@
+"""Figure 6: City-A upload densities per measurement platform."""
+
+
+def test_fig6_city_upload_density(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig6")
+    m = result.metrics
+    # Paper: peaks form near the four offered uploads for every platform
+    # (an extra low cluster may appear in noisy web/M-Lab data).
+    for platform in ("Ookla-Android", "Ookla-Web", "MLab-Web"):
+        assert 3 <= m[f"n_peaks_{platform}"] <= 6, platform

@@ -1,0 +1,14 @@
+"""Figure 7: Android download clusters per upload group, City-A."""
+
+
+def test_fig7_android_download_clusters(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig7")
+    m = result.metrics
+    # WiFi degradation spreads each group's downloads over more clusters
+    # than the plan menu (paper: 5 clusters for the 3-plan Tiers 1-3;
+    # up to 10 for the single-plan higher groups).
+    assert m["n_clusters_Tier 1-3"] >= 3
+    for label in ("Tier 4", "Tier 5", "Tier 6"):
+        assert 1 <= m[f"n_clusters_{label}"] <= 10
+    total = sum(m.values())
+    assert total > 8  # clearly more structure than the 6-plan menu

@@ -1,0 +1,9 @@
+"""Figure 8: alpha -- stability of BST assignments per user-month."""
+
+
+def test_fig8_alpha(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig8")
+    m = result.metrics
+    assert m["median_alpha"] == 1.0  # the paper's headline
+    assert m["fraction_alpha_1"] > 0.5
+    assert m["n_user_months"] > 50

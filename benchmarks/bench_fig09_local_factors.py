@@ -1,0 +1,16 @@
+"""Figure 9(a-d): local-factor impact on normalised download speed."""
+
+
+def test_fig9_local_factors(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig9")
+    m = result.metrics
+    # 9a: Ethernet well above WiFi (paper 0.71 vs 0.28).
+    assert m["ethernet_median"] > m["wifi_median"] * 1.6
+    # 9b: 5 GHz well above 2.4 GHz (paper 0.40 vs 0.11).
+    assert m["band5_median"] > m["band24_median"] * 2.5
+    # 9c: best RSSI bin at least ~2x the worst (paper 0.52 vs 0.2).
+    assert m["rssi_best_median"] > m["rssi_poor_median"] * 2
+    assert m["rssi_good_median"] > m["rssi_fair_median"]
+    # 9d: the < 2 GB bin sharply capped; bins above 2 GB comparable.
+    assert m["mem_lt2_median"] < m["mem_gt6_median"] * 0.7
+    assert m["mem_4_6_median"] > m["mem_lt2_median"]

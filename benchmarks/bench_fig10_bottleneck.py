@@ -1,0 +1,9 @@
+"""Figure 10: Best vs Local-bottleneck Android tests."""
+
+
+def test_fig10_bottleneck(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig10")
+    m = result.metrics
+    # Paper: 61% bottlenecked; medians 0.52 (Best) vs 0.22.
+    assert 0.5 < m["bottleneck_share"] < 0.85
+    assert m["best_median"] > m["bottleneck_median"] * 2

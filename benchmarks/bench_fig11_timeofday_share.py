@@ -1,0 +1,15 @@
+"""Figure 11: share of tests per 6-hour bin per tier group."""
+
+from repro.pipeline.timeofday import TIME_BINS
+
+
+def test_fig11_timeofday_share(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig11")
+    m = result.metrics
+    groups = {key.split("|")[0] for key in m if "|" in key}
+    for group in groups:
+        bins = {b: m[f"{group}|{b}"] for b in TIME_BINS}
+        # Fewest tests overnight, for every tier (Figure 11's shape).
+        assert bins["00-06"] == min(bins.values()), group
+        # Afternoon/evening dominate.
+        assert bins["12-18"] + bins["18-24"] > 50, group

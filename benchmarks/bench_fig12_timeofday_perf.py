@@ -1,0 +1,15 @@
+"""Figure 12: normalised download per time bin, Tiers 4-5."""
+
+from repro.pipeline.timeofday import TIME_BINS
+
+
+def test_fig12_timeofday_performance(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig12")
+    m = result.metrics
+    for group in ("Tier 4", "Tier 5"):
+        medians = [m[f"{group}|{b}|median"] for b in TIME_BINS]
+        # Overnight is (weakly) the best bin...
+        assert m[f"{group}|00-06|median"] >= max(medians[1:]) * 0.95
+        # ...but the effect is marginal, the paper's conclusion.
+        advantage = m[f"{group}|overnight_advantage"]
+        assert 0.95 < advantage < 1.45, group

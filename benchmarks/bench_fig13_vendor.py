@@ -1,0 +1,13 @@
+"""Figure 13: Ookla vs M-Lab normalised download per tier."""
+
+
+def test_fig13_vendor_comparison(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig13")
+    m = result.metrics
+    # Paper: M-Lab lags Ookla in every tier, by ~1.2-2x.
+    for label in ("Tier 1-3", "Tier 4", "Tier 5", "Tier 6"):
+        assert 1.0 < m[f"lag_{label}"] < 3.0, label
+    # Low tiers reach their plan under Ookla (paper median 1.0) and
+    # M-Lab stays close behind (paper 0.83).
+    assert m["ookla_median_Tier 1-3"] > 0.85
+    assert m["mlab_median_Tier 1-3"] > 0.65

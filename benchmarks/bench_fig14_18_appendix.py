@@ -1,0 +1,19 @@
+"""Figures 14-18: appendix density structure for States B-D."""
+
+from repro.market import state_catalog
+
+
+def test_fig14_18_appendix_densities(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "fig14-18")
+    m = result.metrics
+    for state in "BCD":
+        n_groups = len(state_catalog(state).upload_groups())
+        assert abs(m[f"{state}|n_upload_peaks"] - n_groups) <= 1, state
+        # Download cluster tops ordered across groups.
+        tops = [
+            m[key]
+            for key in sorted(m)
+            if key.startswith(f"{state}|") and key.endswith("top_mean")
+        ]
+        assert tops, state
+        assert max(tops) > 400  # the premium tier's cluster is visible

@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the substrate hot paths.
+
+These time the building blocks the experiment drivers lean on: GMM-EM
+fits, KDE grids, BST end-to-end fits, the NDT join, dataset generation,
+and ColumnTable group-by -- useful for catching performance regressions
+independent of the paper artifacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bst import BSTModel
+from repro.frame import ColumnTable
+from repro.market import city_catalog, state_catalog
+from repro.pipeline.ndt_join import join_ndt_tests
+from repro.stats import GaussianKDE, GaussianMixture
+from repro.vendors import MBASimulator, MLabSimulator, OoklaSimulator
+
+
+@pytest.fixture(scope="module")
+def upload_sample():
+    rng = np.random.default_rng(0)
+    return np.concatenate(
+        [
+            rng.normal(5.7, 0.4, 8_000),
+            rng.normal(11.4, 0.7, 3_000),
+            rng.normal(17.1, 1.0, 3_000),
+            rng.normal(40.0, 1.8, 4_000),
+        ]
+    )
+
+
+def test_bench_gmm_fit(benchmark, upload_sample):
+    def fit():
+        return GaussianMixture(4, seed=0).fit(upload_sample)
+
+    result = benchmark(fit)
+    assert result.n_components == 4
+
+
+def test_bench_kde_grid(benchmark, upload_sample):
+    kde = GaussianKDE(upload_sample)
+
+    def grid():
+        return kde.grid(num=512)
+
+    _, density = benchmark(grid)
+    assert density.size == 512
+
+
+def test_bench_bst_full_fit(benchmark):
+    mba = MBASimulator("A", seed=1).generate(8_000)
+    model = BSTModel(state_catalog("A"))
+    downloads = np.asarray(mba["download_mbps"], dtype=float)
+    uploads = np.asarray(mba["upload_mbps"], dtype=float)
+
+    result = benchmark(lambda: model.fit(downloads, uploads))
+    assert len(result) == 8_000
+
+
+def test_bench_ookla_generation(benchmark):
+    def generate():
+        return OoklaSimulator("A", seed=2).generate(3_000)
+
+    table = benchmark(generate)
+    assert len(table) >= 3_000
+
+
+def test_bench_ndt_join(benchmark):
+    raw = MLabSimulator("A", seed=3).generate(6_000)
+
+    joined = benchmark(lambda: join_ndt_tests(raw))
+    assert len(joined) > 4_000
+
+
+def test_bench_groupby_agg(benchmark):
+    rng = np.random.default_rng(4)
+    table = ColumnTable(
+        {
+            "key": rng.integers(0, 50, 60_000),
+            "value": rng.normal(0, 1, 60_000),
+        }
+    )
+
+    def agg():
+        return table.groupby("key").agg(
+            n=("*", "count"), mean=("value", "mean")
+        )
+
+    out = benchmark(agg)
+    assert len(out) == 50
+
+
+def test_bench_contextualize_city(benchmark):
+    from repro.pipeline import contextualize
+
+    ookla = OoklaSimulator("A", seed=5).generate(10_000)
+    catalog = city_catalog("A")
+
+    ctx = benchmark.pedantic(
+        lambda: contextualize(ookla, catalog), rounds=1, iterations=1
+    )
+    assert len(ctx) == len(ookla)

@@ -1,0 +1,10 @@
+"""Table 1: dataset inventory per city."""
+
+
+def test_tab1_dataset_inventory(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "tab1")
+    m = result.metrics
+    for city in "ABCD":
+        assert m[f"ookla_{city}"] > 0
+        assert m[f"mlab_{city}"] > 0
+        assert m[f"mba_{city}"] > 0

@@ -1,0 +1,13 @@
+"""Table 2: BST upload-group accuracy on the four MBA panels."""
+
+
+def test_tab2_mba_accuracy(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "tab2")
+    m = result.metrics
+    # Paper: above 96% in every state, above 99% in two.
+    for state in "ABCD":
+        assert m[f"upload_accuracy_{state}"] > 0.96, state
+    above_99 = sum(
+        m[f"upload_accuracy_{state}"] > 0.99 for state in "ABCD"
+    )
+    assert above_99 >= 2

@@ -1,0 +1,15 @@
+"""Table 3: upload clusters per platform, City-A."""
+
+
+def test_tab3_upload_clusters(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "tab3")
+    m = result.metrics
+    offered = {
+        "Tier 1-3": 5.0, "Tier 4": 10.0, "Tier 5": 15.0, "Tier 6": 35.0,
+    }
+    # Every platform's cluster means must track the offered uploads,
+    # as in the paper's Table 3 (means within ~15% of offered x1.14).
+    for key, mean in m.items():
+        platform, label, _ = key.split("|")
+        base = offered[label]
+        assert base * 0.85 < mean < base * 1.4, key

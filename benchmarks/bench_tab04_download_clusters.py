@@ -1,0 +1,9 @@
+"""Table 4: download cluster means per platform and group, City-A."""
+
+
+def test_tab4_download_clusters(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "tab4")
+    m = result.metrics
+    # Paper's Table 4 contrast: wired desktops form fewer download
+    # clusters than WiFi Android devices.
+    assert m["wired_total_clusters"] <= m["android_total_clusters"]

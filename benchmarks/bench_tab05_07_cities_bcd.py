@@ -1,0 +1,16 @@
+"""Tables 5-7: upload clusters per platform, Cities B-D."""
+
+from repro.market import city_catalog
+
+
+def test_tab5_7_cities_bcd(benchmark, experiment_runner):
+    result = experiment_runner(benchmark, "tab5-7")
+    m = result.metrics
+    for city in "BCD":
+        for group in city_catalog(city).upload_groups():
+            key = f"{city}|Net-Web|{group.tier_label}|mean"
+            assert key in m, key
+            mean = m[key]
+            assert group.upload_mbps * 0.8 < mean < (
+                group.upload_mbps * 1.4
+            ), key

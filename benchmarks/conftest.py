@@ -1,0 +1,40 @@
+"""Benchmark harness scaffolding.
+
+Each ``bench_*`` file regenerates one paper table/figure at MEDIUM scale,
+prints the rendered experiment report (visible with ``pytest -s`` and
+recorded in bench_output.txt), asserts the paper's qualitative shape, and
+times the regeneration via pytest-benchmark.
+
+Dataset generation is memoised in :mod:`repro.experiments.data`, so one
+pytest session touches each simulated dataset once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentResult, Scale, run_experiment
+
+BENCH_SCALE = Scale.MEDIUM
+BENCH_SEED = 0
+
+
+@pytest.fixture(scope="session")
+def experiment_runner():
+    """Run-and-report helper shared by the per-artifact benches."""
+
+    cache: dict[str, ExperimentResult] = {}
+
+    def run(benchmark, experiment_id: str) -> ExperimentResult:
+        def once() -> ExperimentResult:
+            return run_experiment(
+                experiment_id, scale=BENCH_SCALE, seed=BENCH_SEED
+            )
+
+        result = benchmark.pedantic(once, rounds=1, iterations=1)
+        cache[experiment_id] = result
+        print()
+        print(result.render())
+        return result
+
+    return run

@@ -1,0 +1,89 @@
+"""Per-user triage: is it the plan, the WiFi, or the device?
+
+The paper's introduction poses the question every slow speed test
+raises: "is it because the access network is under-performing, the user
+has purchased a lower-tier plan, or the user's home WiFi network is
+misconfigured?"  This example answers it for individual users: estimate
+each heavy user's subscription tier from their test history, then rank
+the local factors that explain their shortfall.
+
+Run:  python examples/diagnose_home_network.py
+"""
+
+import numpy as np
+
+from repro import OoklaSimulator, city_catalog, contextualize
+from repro.pipeline.report import format_table
+from repro.stats.descriptive import consistency_factor
+
+
+def diagnose(user_rows, group_label: str) -> str:
+    """One-line diagnosis from the user's Android metadata."""
+    band = np.asarray(user_rows["wifi_band_ghz"], dtype=float)
+    rssi = np.asarray(user_rows["rssi_dbm"], dtype=float)
+    memory = np.asarray(user_rows["memory_gb"], dtype=float)
+    normalized = np.asarray(
+        user_rows["normalized_download"], dtype=float
+    )
+    if np.nanmedian(normalized) >= 0.7:
+        return "performing to plan"
+    causes = []
+    if np.isfinite(band).any() and np.nanmedian(band) < 5.0:
+        causes.append("2.4 GHz WiFi band")
+    if np.isfinite(rssi).any() and np.nanmedian(rssi) <= -65.0:
+        causes.append("weak RSSI (router placement)")
+    if np.isfinite(memory).any() and np.nanmedian(memory) < 2.0:
+        causes.append("memory-starved device")
+    if causes:
+        return "local bottleneck: " + ", ".join(causes)
+    return "under-performing vs plan -- candidate for an ISP report"
+
+
+def main() -> None:
+    catalog = city_catalog("A")
+    tests = OoklaSimulator("A", seed=11).generate(20_000)
+    ctx = contextualize(tests, catalog)
+    table = ctx.table
+
+    android = table.filter(table["platform"] == "android")
+    rows = []
+    diagnosed = 0
+    for (user,), user_rows in android.groupby("user_id"):
+        if len(user_rows) < 5 or diagnosed >= 12:
+            continue
+        diagnosed += 1
+        downloads = np.asarray(user_rows["download_mbps"], dtype=float)
+        tier = int(np.median(user_rows["bst_tier"]))
+        plan = catalog.plan_for_tier(tier)
+        rows.append(
+            [
+                user,
+                len(user_rows),
+                plan.label,
+                round(float(np.median(downloads)), 1),
+                round(consistency_factor(downloads), 2),
+                diagnose(user_rows, ""),
+            ]
+        )
+    print(
+        format_table(
+            rows,
+            [
+                "user",
+                "tests",
+                "inferred plan",
+                "median dl",
+                "consistency",
+                "diagnosis",
+            ],
+        )
+    )
+    print(
+        "\nEach row answers the paper's triage question for one "
+        "household: plan-limited, locally bottlenecked, or a genuine "
+        "access-network problem."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Regional broadband reporting done right (and wrong).
+
+Section 2 recounts a congressional-district report that ranked regions
+by the raw median of aggregated speed tests and steered buildout funds
+accordingly.  This example rebuilds that report for City-A three ways:
+
+1. the naive raw median (what the original report used);
+2. the tier-rebalanced median (correcting the low-tier sampling skew);
+3. a per-tier service scorecard (is each plan delivering what it
+   sells?), which is the question funding decisions actually need.
+
+It also scans for households whose subscription changed mid-year --
+upgrades that a naive month-over-month trend would misread as network
+improvement.
+
+Run:  python examples/regional_reporting.py
+"""
+
+import numpy as np
+
+from repro import OoklaSimulator, city_catalog, contextualize
+from repro.core import detect_tier_changes
+from repro.pipeline import debiased_summary
+from repro.pipeline.report import format_table
+from repro.stats import bootstrap_ci
+
+
+def main() -> None:
+    catalog = city_catalog("A")
+    tests = OoklaSimulator("A", seed=21).generate(20_000)
+    ctx = contextualize(tests, catalog)
+    table = ctx.table
+
+    print("1. The naive report: one number for the whole city")
+    summary = debiased_summary(table)
+    lo, hi = bootstrap_ci(
+        np.asarray(table["download_mbps"], dtype=float), seed=1
+    )
+    print(
+        f"   raw median: {summary['raw_median']:.1f} Mbps "
+        f"(95% CI {lo:.1f}-{hi:.1f})"
+    )
+    print(
+        f"   tier-rebalanced median: {summary['debiased_median']:.1f} "
+        "Mbps -- the raw number under-states the city because the "
+        "sample skews to low-tier subscribers.\n"
+    )
+
+    print("2. The per-tier scorecard: is each plan delivering?")
+    rows = []
+    for group_label in ctx.group_labels:
+        group_rows = ctx.rows_for_group(group_label)
+        normalized = np.asarray(
+            group_rows["normalized_download"], dtype=float
+        )
+        lo, hi = bootstrap_ci(normalized, seed=2)
+        rows.append(
+            [
+                group_label,
+                len(group_rows),
+                round(float(np.median(normalized)), 2),
+                f"[{lo:.2f}, {hi:.2f}]",
+            ]
+        )
+    print(
+        format_table(
+            rows,
+            ["tier group", "tests", "median dl/plan", "95% CI"],
+        )
+    )
+    print(
+        "   Low tiers deliver their plans; premium tiers measure far "
+        "below theirs -- mostly local (WiFi/device) limits, per the "
+        "diagnosis analyses.\n"
+    )
+
+    print("3. Subscription changes that would pollute a trend line")
+    native = table.filter(table["origin"] == "native")
+    changes = detect_tier_changes(native)
+    if changes:
+        for change in changes[:8]:
+            direction = "upgrade" if change.is_upgrade else "downgrade"
+            print(
+                f"   {change.user_id}: tier {change.old_tier} -> "
+                f"{change.new_tier} in month {change.month} ({direction})"
+            )
+    else:
+        print("   none detected (the simulated population is stable)")
+    print(
+        "\nTakeaway: fund on per-plan delivery gaps, not on a raw "
+        "median that mostly measures what people chose to buy."
+    )
+
+
+if __name__ == "__main__":
+    main()

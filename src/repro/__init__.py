@@ -1,0 +1,92 @@
+"""repro: a full reproduction of "The Importance of Contextualization of
+Crowdsourced Active Speed Test Measurements" (Paul et al., IMC 2022).
+
+The package builds every system the paper depends on -- a broadband
+market model, a network path simulator, Ookla/M-Lab/MBA dataset
+simulators -- plus the paper's contribution, the Broadband Subscription
+Tier (BST) methodology, and the full analysis pipeline that regenerates
+each table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import OoklaSimulator, city_catalog, contextualize
+
+    catalog = city_catalog("A")
+    tests = OoklaSimulator("A", seed=0).generate(20_000)
+    ctx = contextualize(tests, catalog)
+    print(ctx.table.groupby("bst_group").agg(
+        n=("*", "count"), median=("normalized_download", "median")))
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for
+paper-vs-measured results.
+"""
+
+from repro.core import (
+    BSTConfig,
+    BSTModel,
+    BSTResult,
+    accuracy_report,
+    alpha_values,
+    per_user_consistency_factors,
+    tier_accuracy,
+    upload_group_accuracy,
+)
+from repro.frame import ColumnTable, concat, read_csv, write_csv
+from repro.market import (
+    CITY_IDS,
+    Plan,
+    PlanCatalog,
+    SubscriberPopulation,
+    city_catalog,
+    state_catalog,
+)
+from repro.pipeline import (
+    access_type_comparison,
+    bottleneck_comparison,
+    compare_vendors,
+    contextualize,
+    join_ndt_tests,
+    memory_comparison,
+    normalized_speed_by_bin,
+    rssi_comparison,
+    test_share_by_bin,
+    wifi_band_comparison,
+)
+from repro.vendors import MBASimulator, MLabSimulator, OoklaSimulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BSTConfig",
+    "BSTModel",
+    "BSTResult",
+    "accuracy_report",
+    "alpha_values",
+    "per_user_consistency_factors",
+    "tier_accuracy",
+    "upload_group_accuracy",
+    "ColumnTable",
+    "concat",
+    "read_csv",
+    "write_csv",
+    "CITY_IDS",
+    "Plan",
+    "PlanCatalog",
+    "SubscriberPopulation",
+    "city_catalog",
+    "state_catalog",
+    "access_type_comparison",
+    "bottleneck_comparison",
+    "compare_vendors",
+    "contextualize",
+    "join_ndt_tests",
+    "memory_comparison",
+    "normalized_speed_by_bin",
+    "rssi_comparison",
+    "test_share_by_bin",
+    "wifi_band_comparison",
+    "MBASimulator",
+    "MLabSimulator",
+    "OoklaSimulator",
+    "__version__",
+]

@@ -1,0 +1,325 @@
+"""Command-line interface.
+
+Subcommands cover the full reproduction workflow:
+
+- ``repro generate``: simulate a vendor dataset for a city and write CSV.
+- ``repro join-ndt``: associate NDT upload records with downloads.
+- ``repro contextualize``: run BST over a CSV and write the augmented CSV.
+- ``repro evaluate``: score BST against an MBA panel's ground truth.
+- ``repro experiment``: run one registered paper artifact and print it.
+- ``repro list-experiments``: show the registry.
+- ``repro audit``: metadata audit + Section 8 recommendations for a CSV.
+- ``repro challenge``: challenge-process triage for a contextualised CSV.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.assignment import accuracy_report
+from repro.core.bst import BSTModel
+from repro.experiments import REGISTRY, Scale, run_experiment
+from repro.frame import read_csv, write_csv
+from repro.market.isps import CITY_IDS, city_catalog, state_catalog
+from repro.pipeline.challenge import CATEGORIES, classify_tests
+from repro.pipeline.contextualize import contextualize
+from repro.pipeline.metadata import audit_metadata, recommend
+from repro.pipeline.ndt_join import join_ndt_tests
+from repro.pipeline.report import format_table
+from repro.vendors.mba import MBASimulator
+from repro.vendors.mlab import MLabSimulator
+from repro.vendors.ookla import OoklaSimulator
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'The Importance of Contextualization of "
+            "Crowdsourced Active Speed Test Measurements' (IMC 2022)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser(
+        "generate", help="simulate a vendor dataset and write CSV"
+    )
+    generate.add_argument(
+        "--vendor", choices=("ookla", "mlab", "mba"), required=True
+    )
+    generate.add_argument(
+        "--city", choices=CITY_IDS, default="A",
+        help="city (or state, for MBA)",
+    )
+    generate.add_argument("--n", type=int, default=20_000,
+                          help="tests / sessions / rows to generate")
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True, help="output CSV path")
+    generate.set_defaults(func=_cmd_generate)
+
+    join = sub.add_parser(
+        "join-ndt",
+        help="pair NDT upload records with downloads (120 s window)",
+    )
+    join.add_argument("--input", required=True, help="raw NDT CSV")
+    join.add_argument("--out", required=True, help="joined CSV path")
+    join.add_argument("--window", type=float, default=120.0)
+    join.set_defaults(func=_cmd_join)
+
+    ctx = sub.add_parser(
+        "contextualize",
+        help="run BST over a measurement CSV and write the augmented CSV",
+    )
+    ctx.add_argument("--input", required=True)
+    ctx.add_argument("--city", choices=CITY_IDS, required=True)
+    ctx.add_argument("--out", required=True)
+    ctx.set_defaults(func=_cmd_contextualize)
+
+    evaluate = sub.add_parser(
+        "evaluate", help="score BST against an MBA panel's ground truth"
+    )
+    evaluate.add_argument("--state", choices=CITY_IDS, default="A")
+    evaluate.add_argument("--n", type=int, default=12_000)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.set_defaults(func=_cmd_evaluate)
+
+    experiment = sub.add_parser(
+        "experiment", help="run one registered paper artifact"
+    )
+    experiment.add_argument("experiment_id", choices=sorted(REGISTRY))
+    experiment.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=Scale.MEDIUM.value,
+    )
+    experiment.add_argument("--seed", type=int, default=0)
+    experiment.set_defaults(func=_cmd_experiment)
+
+    list_cmd = sub.add_parser(
+        "list-experiments", help="list the registered paper artifacts"
+    )
+    list_cmd.set_defaults(func=_cmd_list)
+
+    report_all = sub.add_parser(
+        "report-all",
+        help="run experiments and export reports to a directory",
+    )
+    report_all.add_argument("--out-dir", required=True)
+    report_all.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=Scale.SMALL.value,
+    )
+    report_all.add_argument("--seed", type=int, default=0)
+    report_all.add_argument(
+        "--only", nargs="*", default=None,
+        help="experiment ids to run (default: all)",
+    )
+    report_all.set_defaults(func=_cmd_report_all)
+
+    audit = sub.add_parser(
+        "audit",
+        help="metadata audit + Section 8 recommendations for a CSV",
+    )
+    audit.add_argument("--input", required=True)
+    audit.set_defaults(func=_cmd_audit)
+
+    challenge = sub.add_parser(
+        "challenge",
+        help="challenge-process triage over a contextualised CSV",
+    )
+    challenge.add_argument("--input", required=True)
+    challenge.add_argument("--ratio", type=float, default=0.5,
+                           help="under-performance ratio threshold")
+    challenge.set_defaults(func=_cmd_challenge)
+
+    describe = sub.add_parser(
+        "describe",
+        help="print a city's plan menu and the BST pipeline over it",
+    )
+    describe.add_argument("--city", choices=CITY_IDS, default="A")
+    describe.set_defaults(func=_cmd_describe)
+
+    dossier = sub.add_parser(
+        "dossier",
+        help="generate and render the full city dossier",
+    )
+    dossier.add_argument("--city", choices=CITY_IDS, default="A")
+    dossier.add_argument("--n", type=int, default=20_000)
+    dossier.add_argument("--seed", type=int, default=0)
+    dossier.set_defaults(func=_cmd_dossier)
+
+    return parser
+
+
+# ---------------------------------------------------------------------------
+def _cmd_generate(args) -> int:
+    if args.vendor == "ookla":
+        table = OoklaSimulator(args.city, seed=args.seed).generate(args.n)
+    elif args.vendor == "mlab":
+        table = MLabSimulator(args.city, seed=args.seed).generate(args.n)
+    else:
+        table = MBASimulator(args.city, seed=args.seed).generate(args.n)
+    write_csv(table, args.out)
+    print(f"wrote {len(table)} {args.vendor} rows to {args.out}")
+    return 0
+
+
+def _cmd_join(args) -> int:
+    raw = read_csv(args.input)
+    joined = join_ndt_tests(raw, window_s=args.window)
+    write_csv(joined, args.out)
+    print(
+        f"joined {len(joined)} download/upload pairs "
+        f"(from {len(raw)} records) to {args.out}"
+    )
+    return 0
+
+
+def _cmd_contextualize(args) -> int:
+    table = read_csv(args.input)
+    ctx = contextualize(table, city_catalog(args.city))
+    write_csv(ctx.table, args.out)
+    rows = []
+    for label in ctx.group_labels:
+        group_rows = ctx.rows_for_group(label)
+        median = (
+            float(np.median(group_rows["normalized_download"]))
+            if len(group_rows)
+            else float("nan")
+        )
+        rows.append([label, len(group_rows), round(median, 3)])
+    print(format_table(rows, ["group", "tests", "median dl/plan"]))
+    print(f"wrote {len(ctx)} contextualised rows to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    mba = MBASimulator(args.state, seed=args.seed).generate(args.n)
+    catalog = state_catalog(args.state)
+    result = BSTModel(catalog).fit(
+        mba["download_mbps"], mba["upload_mbps"]
+    )
+    report = accuracy_report(result, mba["tier"])
+    print(
+        f"State-{args.state} ({catalog.isp_name}), "
+        f"{report.n_measurements} measurements"
+    )
+    print(
+        f"upload-group accuracy: {report.upload_group_accuracy:.2%}  "
+        f"(paper: >96%)"
+    )
+    print(f"plan-tier accuracy:    {report.tier_accuracy:.2%}")
+    rows = [
+        [label, f"{acc:.2%}"]
+        for label, acc in report.per_group_tier_accuracy.items()
+    ]
+    print(format_table(rows, ["group", "tier accuracy"]))
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    result = run_experiment(
+        args.experiment_id, scale=Scale(args.scale), seed=args.seed
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_list(args) -> int:
+    rows = [[eid, REGISTRY[eid].__doc__.strip().splitlines()[0]]
+            for eid in sorted(REGISTRY)]
+    print(format_table(rows, ["experiment", "description"]))
+    return 0
+
+
+def _cmd_report_all(args) -> int:
+    from repro.experiments.export import export_all
+
+    results = export_all(
+        args.out_dir,
+        experiment_ids=args.only,
+        scale=Scale(args.scale),
+        seed=args.seed,
+    )
+    print(
+        f"exported {len(results)} experiment reports to {args.out_dir} "
+        "(summary.txt, metrics.csv, one .txt per experiment)"
+    )
+    return 0
+
+
+def _cmd_audit(args) -> int:
+    table = read_csv(args.input)
+    audit = audit_metadata(table)
+    rows = [
+        [
+            fp.field.name,
+            "yes" if fp.present else "no",
+            f"{fp.coverage:.0%}",
+        ]
+        for fp in audit.fields
+    ]
+    print(format_table(rows, ["context field", "present", "coverage"]))
+    print(f"interpretability score: {audit.interpretability:.2f} / 1.00")
+    recommendations = recommend(audit)
+    if recommendations:
+        print("\nrecommendations (Section 8):")
+        for i, text in enumerate(recommendations, 1):
+            print(f"  {i}. {text}")
+    else:
+        print("\nno gaps: every recommended context field is covered.")
+    return 0
+
+
+def _cmd_challenge(args) -> int:
+    from repro.pipeline.challenge import ChallengeConfig
+
+    table = read_csv(args.input)
+    summary = classify_tests(
+        table, ChallengeConfig(underperformance_ratio=args.ratio)
+    )
+    rows = [
+        [category, summary.counts.get(category, 0),
+         f"{summary.share(category):.1%}"]
+        for category in CATEGORIES
+    ]
+    print(format_table(rows, ["category", "tests", "share"]))
+    print(
+        f"\n{summary.counts.get('challenge-worthy', 0)} tests are "
+        "evidence-grade for a coverage challenge."
+    )
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    print(BSTModel(city_catalog(args.city)).describe())
+    return 0
+
+
+def _cmd_dossier(args) -> int:
+    from repro.pipeline.dossier import city_dossier
+
+    catalog = city_catalog(args.city)
+    tests = OoklaSimulator(args.city, seed=args.seed).generate(args.n)
+    ctx = contextualize(tests, catalog)
+    print(city_dossier(ctx, city_label=f"City-{args.city}"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

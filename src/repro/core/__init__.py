@@ -1,0 +1,62 @@
+"""The paper's primary contribution: the Broadband Subscription Tier (BST)
+methodology, plus its evaluation metrics.
+
+BST (Section 4.2) is a two-stage hierarchical unsupervised clustering
+pipeline that maps each ``<download speed, upload speed>`` measurement
+tuple to an ISP subscription plan:
+
+1. **Upload stage** -- KDE confirms that the upload-speed distribution has
+   as many clusters as the ISP offers distinct upload speeds; GMM-EM then
+   assigns each measurement to an *upload group* (the set of plans sharing
+   one advertised upload speed).  Upload speed is the stable fingerprint:
+   plan uploads are few, slow, and rarely bottlenecked locally.
+2. **Download stage** -- within each upload group, KDE counts the download
+   clusters (WiFi degradation can create more clusters than plans), GMM-EM
+   fits them, and each cluster is mapped to the plan whose advertised
+   download speed is nearest in log space.
+
+:mod:`repro.core.assignment` scores assignments against ground truth (the
+Table 2 accuracy evaluation); :mod:`repro.core.consistency` implements the
+per-user consistency factor (Figure 2) and the alpha tier-stability metric
+(Figure 8).
+"""
+
+from repro.core.config import BSTConfig
+from repro.core.bst import (
+    BSTModel,
+    BSTResult,
+    UploadStageFit,
+    DownloadStageFit,
+)
+from repro.core.assignment import (
+    upload_group_accuracy,
+    tier_accuracy,
+    accuracy_report,
+    AccuracyReport,
+)
+from repro.core.consistency import (
+    per_user_consistency_factors,
+    alpha_values,
+)
+from repro.core.longitudinal import (
+    TierChange,
+    detect_tier_changes,
+    monthly_majority_tiers,
+)
+
+__all__ = [
+    "BSTConfig",
+    "BSTModel",
+    "BSTResult",
+    "UploadStageFit",
+    "DownloadStageFit",
+    "upload_group_accuracy",
+    "tier_accuracy",
+    "accuracy_report",
+    "AccuracyReport",
+    "per_user_consistency_factors",
+    "alpha_values",
+    "TierChange",
+    "detect_tier_changes",
+    "monthly_majority_tiers",
+]

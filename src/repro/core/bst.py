@@ -1,0 +1,398 @@
+"""The Broadband Subscription Tier (BST) two-stage clustering pipeline.
+
+Stage one clusters the *upload* speeds: the ISP sells only a handful of
+distinct upload rates, local factors rarely bottleneck them, so a
+measurement's upload speed pins down its *upload group* -- the set of
+plans sharing that advertised upload.  Stage two clusters the *download*
+speeds within each upload group and maps every download cluster to the
+plan whose advertised download is nearest in log space (reproducing the
+paper's Tier 1-3 cluster-to-plan associations of Section 5.1).
+
+The fitted :class:`BSTResult` carries per-measurement tier assignments
+plus everything the evaluation needs: per-stage cluster means, weights,
+counts, and the KDE peak counts that seeded each stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import BSTConfig
+from repro.market.plans import PlanCatalog, UploadGroup
+from repro.stats.gmm import GaussianMixture
+from repro.stats.kde import GaussianKDE
+from repro.stats.kmeans import KMeans1D
+from repro.stats.peaks import count_density_peaks
+
+__all__ = ["BSTModel", "BSTResult", "UploadStageFit", "DownloadStageFit"]
+
+
+@dataclass
+class UploadStageFit:
+    """Stage-one outcome: upload clusters and group assignments.
+
+    ``cluster_means[i]`` is the fitted mean of the component matched to
+    ``groups[i]`` (ascending by advertised upload speed) -- the Table 3
+    "means for upload speed clusters that form near the offered upload
+    speeds".  ``component_means``/``component_groups`` expose the full
+    mixture, including any off-menu components (e.g. the ~1 Mbps cluster
+    the paper observes in M-Lab data, Section 5.1): each component maps
+    to the upload group whose advertised speed is log-nearest.
+    """
+
+    groups: tuple[UploadGroup, ...]
+    cluster_means: np.ndarray
+    cluster_weights: np.ndarray
+    cluster_counts: np.ndarray
+    kde_peak_count: int
+    converged: bool
+    n_iter: int
+    component_means: np.ndarray = field(default_factory=lambda: np.array([]))
+    component_groups: tuple[int, ...] = ()
+
+    def mean_for_group(self, group_index: int) -> float:
+        return float(self.cluster_means[group_index])
+
+
+@dataclass
+class DownloadStageFit:
+    """Stage-two outcome for one upload group.
+
+    ``cluster_tiers[j]`` is the plan tier that download cluster ``j``
+    (ascending by mean) was mapped to.
+    """
+
+    group_index: int
+    cluster_means: np.ndarray
+    cluster_weights: np.ndarray
+    cluster_counts: np.ndarray
+    cluster_tiers: tuple[int, ...]
+    kde_peak_count: int
+    n_components: int
+
+
+@dataclass
+class BSTResult:
+    """Per-measurement subscription-tier assignments plus fit diagnostics."""
+
+    catalog: PlanCatalog
+    upload_stage: UploadStageFit
+    download_stages: dict[int, DownloadStageFit]
+    group_indices: np.ndarray  # per measurement, index into upload groups
+    tiers: np.ndarray  # per measurement, assigned plan tier
+
+    def __len__(self) -> int:
+        return len(self.tiers)
+
+    def plan_download_for_rows(self) -> np.ndarray:
+        """Advertised download speed (Mbps) of each row's assigned plan."""
+        lookup = {
+            p.tier: p.download_mbps for p in self.catalog.plans
+        }
+        return np.asarray([lookup[int(t)] for t in self.tiers], dtype=float)
+
+    def plan_upload_for_rows(self) -> np.ndarray:
+        """Advertised upload speed (Mbps) of each row's assigned plan."""
+        lookup = {p.tier: p.upload_mbps for p in self.catalog.plans}
+        return np.asarray([lookup[int(t)] for t in self.tiers], dtype=float)
+
+    def group_label_for_rows(self) -> list[str]:
+        """Paper-style span label (e.g. "Tier 1-3") of each row's group."""
+        labels = [g.tier_label for g in self.upload_stage.groups]
+        return [labels[int(i)] for i in self.group_indices]
+
+
+class BSTModel:
+    """Fits the BST methodology for one ISP catalog.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.market.isps import city_catalog
+    >>> rng = np.random.default_rng(0)
+    >>> ups = np.concatenate([rng.normal(5.5, .4, 400), rng.normal(40, 2, 400)])
+    >>> downs = np.concatenate([rng.normal(110, 9, 400), rng.normal(900, 60, 400)])
+    >>> model = BSTModel(city_catalog("A"))
+    >>> result = model.fit(downs, ups)
+    >>> sorted(set(result.tiers.tolist())) == [2, 6]
+    True
+    """
+
+    def __init__(self, catalog: PlanCatalog, config: BSTConfig | None = None):
+        self.catalog = catalog
+        self.config = config or BSTConfig()
+
+    def describe(self) -> str:
+        """Text rendering of the methodology (the paper's Figure 3)."""
+        groups = self.catalog.upload_groups()
+        group_lines = "\n".join(
+            f"   |  {g.tier_label}: upload {g.upload_mbps:g} Mbps -> "
+            f"downloads {', '.join(f'{d:g}' for d in g.download_speeds)}"
+            for g in groups
+        )
+        clusterer = self.config.clustering.upper()
+        return (
+            f"BST methodology for {self.catalog.isp_name} "
+            f"({self.catalog.num_plans} plans)\n"
+            "1. Plan discovery (query tool): the city-wide menu\n"
+            f"{group_lines}\n"
+            "2. Stage one -- upload speeds:\n"
+            "   KDE (log-space) confirms one density peak per offered "
+            "upload;\n"
+            f"   {clusterer}-EM (means seeded at the offered uploads"
+            f"{', MAP prior' if self.config.upload_mean_prior else ''}) "
+            "assigns each test to an upload group.\n"
+            "3. Stage two -- download speeds, within each group:\n"
+            "   KDE counts the download clusters (WiFi can create more "
+            f"than the menu, capped at {self.config.max_download_clusters});\n"
+            f"   {clusterer}-EM fits them; each cluster maps to the "
+            "log-nearest advertised download.\n"
+            "4. Output: a subscription tier per <download, upload> tuple."
+        )
+
+    # ------------------------------------------------------------------
+    # Stage one: upload clustering
+    # ------------------------------------------------------------------
+    def fit_upload_stage(
+        self, uploads: np.ndarray
+    ) -> tuple[UploadStageFit, np.ndarray]:
+        """Cluster uploads into the catalog's upload groups.
+
+        Crowdsourced uploads carry off-menu mass (tests whose upload was
+        WiFi-capped well below every advertised rate -- the paper's
+        ~1 Mbps M-Lab cluster).  Fitting only one component per offered
+        speed lets that smear drag cluster means off their peaks, so
+        extra components are added for it and every component is then
+        mapped to the log-nearest offered upload speed.
+
+        Returns the fit plus the per-measurement group index.
+        """
+        uploads = _clean(uploads)
+        groups = self.catalog.upload_groups()
+        k_groups = len(groups)
+        if uploads.size < k_groups:
+            raise ValueError(
+                f"need at least {k_groups} upload measurements, "
+                f"got {uploads.size}"
+            )
+        peak_count = count_density_peaks(
+            uploads,
+            num_grid=self.config.kde_grid_points,
+            min_prominence_frac=self.config.min_prominence_frac,
+            min_height_frac=self.config.min_height_frac,
+            log_space=self.config.kde_log_space,
+        )
+        offered = np.asarray([g.upload_mbps for g in groups], dtype=float)
+
+        # Off-menu mass: uploads whose log distance to every offered
+        # speed exceeds ~35%.
+        positive = np.maximum(uploads, 1e-6)
+        log_dist = np.min(
+            np.abs(np.log(positive)[:, None] - np.log(offered)[None, :]),
+            axis=1,
+        )
+        outliers = uploads[log_dist > np.log(1.35)]
+        outlier_frac = outliers.size / uploads.size
+        if outlier_frac < 0.02:
+            n_extra = 0
+        elif outlier_frac < 0.10:
+            n_extra = 1
+        elif outlier_frac < 0.25:
+            n_extra = 2
+        else:
+            n_extra = 3
+        n_extra = min(n_extra, max(0, uploads.size - k_groups))
+
+        if self.config.seed_means_from_catalog:
+            extra_means = (
+                np.quantile(
+                    outliers,
+                    [(i + 1) / (n_extra + 1) for i in range(n_extra)],
+                )
+                if n_extra
+                else np.array([])
+            )
+            means_init = np.concatenate([offered, extra_means])
+        else:
+            means_init = None
+        k = k_groups + n_extra
+        labels, means, weights, converged, n_iter = self._cluster(
+            uploads,
+            k,
+            means_init,
+            mean_prior=self.config.upload_mean_prior,
+        )
+
+        # Map each fitted component to its log-nearest offered upload.
+        component_groups = tuple(
+            int(np.argmin(np.abs(np.log(max(m, 1e-6)) - np.log(offered))))
+            for m in means
+        )
+        group_indices = np.asarray(
+            [component_groups[label] for label in labels], dtype=np.int64
+        )
+
+        # Per-group reported mean: the component nearest the offered
+        # speed among those mapped to the group (Table 3's cluster means).
+        cluster_means = np.full(k_groups, np.nan)
+        cluster_weights = np.zeros(k_groups)
+        for gi in range(k_groups):
+            members = [
+                ci for ci, g in enumerate(component_groups) if g == gi
+            ]
+            if not members:
+                continue
+            nearest = min(
+                members, key=lambda ci: abs(means[ci] - offered[gi])
+            )
+            cluster_means[gi] = means[nearest]
+            cluster_weights[gi] = sum(weights[ci] for ci in members)
+        counts = np.bincount(group_indices, minlength=k_groups)
+        fit = UploadStageFit(
+            groups=groups,
+            cluster_means=cluster_means,
+            cluster_weights=cluster_weights,
+            cluster_counts=counts,
+            kde_peak_count=peak_count,
+            converged=converged,
+            n_iter=n_iter,
+            component_means=means,
+            component_groups=component_groups,
+        )
+        return fit, group_indices
+
+    # ------------------------------------------------------------------
+    # Stage two: download clustering within one upload group
+    # ------------------------------------------------------------------
+    def fit_download_stage(
+        self,
+        downloads: np.ndarray,
+        group: UploadGroup,
+        group_index: int,
+    ) -> tuple[DownloadStageFit, np.ndarray]:
+        """Cluster one group's downloads and map clusters to plan tiers.
+
+        Returns the fit plus the per-measurement tier assignment.
+        """
+        downloads = _clean(downloads)
+        plans = group.plans
+        if downloads.size == 0:
+            raise ValueError("empty download sample for a populated group")
+        peak_count = count_density_peaks(
+            downloads,
+            num_grid=self.config.kde_grid_points,
+            min_prominence_frac=self.config.min_prominence_frac,
+            min_height_frac=self.config.min_height_frac,
+            log_space=self.config.kde_log_space,
+        )
+        # At least one cluster per offered plan; WiFi degradation can
+        # create more (the paper caps the extra structure at 10).
+        k = int(
+            np.clip(peak_count, len(plans), self.config.max_download_clusters)
+        )
+        k = min(k, downloads.size)
+        labels, means, weights, _, _ = self._cluster(downloads, k, None)
+        counts = np.bincount(labels, minlength=k)
+        cluster_tiers = tuple(
+            _nearest_plan_tier(m, plans) for m in means
+        )
+        fit = DownloadStageFit(
+            group_index=group_index,
+            cluster_means=means,
+            cluster_weights=weights,
+            cluster_counts=counts,
+            cluster_tiers=cluster_tiers,
+            kde_peak_count=peak_count,
+            n_components=k,
+        )
+        tiers = np.asarray([cluster_tiers[label] for label in labels])
+        return fit, tiers
+
+    # ------------------------------------------------------------------
+    def fit(self, downloads, uploads) -> BSTResult:
+        """Run both stages over paired download/upload measurements."""
+        downloads = np.asarray(downloads, dtype=float)
+        uploads = np.asarray(uploads, dtype=float)
+        if downloads.shape != uploads.shape:
+            raise ValueError("downloads and uploads must pair one-to-one")
+        finite = np.isfinite(downloads) & np.isfinite(uploads)
+        if not finite.all():
+            raise ValueError(
+                "BST input must be finite; filter NaNs before fitting"
+            )
+        upload_fit, group_indices = self.fit_upload_stage(uploads)
+        tiers = np.zeros(len(downloads), dtype=np.int64)
+        download_stages: dict[int, DownloadStageFit] = {}
+        for gi, group in enumerate(upload_fit.groups):
+            member_rows = np.flatnonzero(group_indices == gi)
+            if member_rows.size == 0:
+                continue
+            stage, member_tiers = self.fit_download_stage(
+                downloads[member_rows], group, gi
+            )
+            download_stages[gi] = stage
+            tiers[member_rows] = member_tiers
+        return BSTResult(
+            catalog=self.catalog,
+            upload_stage=upload_fit,
+            download_stages=download_stages,
+            group_indices=group_indices,
+            tiers=tiers,
+        )
+
+    # ------------------------------------------------------------------
+    def _cluster(
+        self,
+        values: np.ndarray,
+        k: int,
+        means_init: np.ndarray | None,
+        mean_prior: float = 0.0,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool, int]:
+        """Run the configured clusterer; returns labels/means/weights."""
+        if self.config.clustering == "gmm":
+            gmm = GaussianMixture(
+                k,
+                max_iter=self.config.gmm_max_iter,
+                tol=self.config.gmm_tol,
+                seed=self.config.seed,
+                means_init=means_init,
+                mean_prior_strength=(
+                    mean_prior if means_init is not None else 0.0
+                ),
+            )
+            fit = gmm.fit(values)
+            labels = gmm.predict(values)
+            return (
+                labels,
+                fit.means,
+                fit.weights,
+                fit.converged,
+                fit.n_iter,
+            )
+        kmeans = KMeans1D(k, means_init=means_init)
+        fit = kmeans.fit(values)
+        labels = kmeans.predict(values)
+        weights = np.bincount(labels, minlength=k) / values.size
+        return labels, fit.centers, weights, fit.converged, fit.n_iter
+
+
+def _clean(values) -> np.ndarray:
+    values = np.asarray(values, dtype=float)
+    return values[np.isfinite(values)]
+
+
+def _nearest_plan_tier(cluster_mean: float, plans) -> int:
+    """Map a download-cluster mean to the log-nearest plan's tier.
+
+    Log distance reproduces the paper's associations: in City-A Tier 1-3,
+    clusters at 8.04 and 27.14 Mbps map to the 25 Mbps plan, 57.85 and
+    115.65 to the 100 Mbps plan, and 214.01 to the 200 Mbps plan.
+    """
+    if cluster_mean <= 0:
+        return plans[0].tier
+    distances = [
+        abs(np.log(cluster_mean) - np.log(p.download_mbps)) for p in plans
+    ]
+    return plans[int(np.argmin(distances))].tier

@@ -1,0 +1,93 @@
+"""Per-user consistency metrics: the consistency factor and alpha.
+
+Two metrics from the paper:
+
+- **Consistency factor** (Section 4.1, Figure 2): for each user with at
+  least ``min_tests`` measurements, the ratio of the mean to the 95th
+  percentile of that user's speeds.  Upload speeds are far more
+  consistent (median 0.87) than download speeds (median 0.58), which is
+  the observation that motivates clustering uploads first.
+- **Alpha** (Section 5.2, Figure 8): for each (user, month) with more
+  than ``min_tests`` tests, the largest fraction of that user's monthly
+  tests assigned to a single tier.  Alpha near 1 means BST assigns the
+  user stably; the paper reports a median of 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame import ColumnTable
+from repro.stats.descriptive import consistency_factor
+
+__all__ = ["per_user_consistency_factors", "alpha_values"]
+
+
+def per_user_consistency_factors(
+    table: ColumnTable,
+    speed_column: str,
+    user_column: str = "user_id",
+    min_tests: int = 5,
+) -> ColumnTable:
+    """Consistency factor of ``speed_column`` for each qualifying user.
+
+    Only users with at least ``min_tests`` measurements qualify (the paper
+    uses "at least five tests").  Returns a table with columns
+    ``user_id``, ``n_tests``, ``consistency_factor``.
+    """
+    if min_tests < 1:
+        raise ValueError("min_tests must be >= 1")
+    users: list = []
+    counts: list[int] = []
+    factors: list[float] = []
+    for (user,), group in table.groupby(user_column):
+        speeds = group[speed_column]
+        if len(speeds) < min_tests:
+            continue
+        users.append(user)
+        counts.append(len(speeds))
+        factors.append(consistency_factor(speeds))
+    return ColumnTable(
+        {
+            "user_id": np.asarray(users, dtype=object),
+            "n_tests": np.asarray(counts, dtype=np.int64),
+            "consistency_factor": np.asarray(factors, dtype=float),
+        }
+    )
+
+
+def alpha_values(
+    table: ColumnTable,
+    tier_column: str = "bst_tier",
+    user_column: str = "user_id",
+    month_column: str = "month",
+    min_tests: int = 5,
+) -> ColumnTable:
+    """Alpha per (user, month): the max single-tier share of their tests.
+
+    Follows Equation 1 of the paper: for user ``u`` in month ``m`` the
+    per-tier ratios ``r_ium = N_i / sum_k N_k`` and
+    ``alpha_um = max_i r_ium``.  Only (user, month) pairs with more than
+    ``min_tests`` tests are reported (Section 5.2 uses "more than five
+    speed tests in a month").
+    """
+    if min_tests < 1:
+        raise ValueError("min_tests must be >= 1")
+    users: list = []
+    months: list[int] = []
+    alphas: list[float] = []
+    for (user, month), group in table.groupby([user_column, month_column]):
+        tiers = group[tier_column]
+        if len(tiers) <= min_tests:
+            continue
+        counts = np.unique(np.asarray(tiers), return_counts=True)[1]
+        users.append(user)
+        months.append(int(month))
+        alphas.append(float(counts.max() / counts.sum()))
+    return ColumnTable(
+        {
+            "user_id": np.asarray(users, dtype=object),
+            "month": np.asarray(months, dtype=np.int64),
+            "alpha": np.asarray(alphas, dtype=float),
+        }
+    )

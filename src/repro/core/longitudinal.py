@@ -1,0 +1,118 @@
+"""Longitudinal tier analysis: plan changes in a user's test history.
+
+Section 5.2 measures *stability*: for most users, every test in a month
+maps to one tier (alpha = 1).  The complementary longitudinal question
+-- did this user's subscription *change* across months? -- matters for
+interpreting multi-month aggregates (an upgrade mid-year looks like an
+access-network improvement if plans are ignored).
+
+:func:`detect_tier_changes` finds change points in a user's monthly
+tier assignments, using the per-month majority tier and requiring the
+new tier to persist (a single-month flip is BST noise, not an upgrade).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame import ColumnTable
+
+__all__ = ["TierChange", "monthly_majority_tiers", "detect_tier_changes"]
+
+
+@dataclass(frozen=True)
+class TierChange:
+    """One detected subscription change for a user."""
+
+    user_id: str
+    month: int  # first month on the new tier
+    old_tier: int
+    new_tier: int
+
+    @property
+    def is_upgrade(self) -> bool:
+        return self.new_tier > self.old_tier
+
+
+def monthly_majority_tiers(
+    table: ColumnTable,
+    user_column: str = "user_id",
+    month_column: str = "month",
+    tier_column: str = "bst_tier",
+    min_tests: int = 2,
+) -> dict[str, dict[int, int]]:
+    """Per user: the majority-assigned tier of each qualifying month.
+
+    Months with fewer than ``min_tests`` tests are skipped -- a single
+    test is too little evidence to call the month's tier.
+    """
+    if min_tests < 1:
+        raise ValueError("min_tests must be >= 1")
+    out: dict[str, dict[int, int]] = {}
+    for (user, month), group in table.groupby(
+        [user_column, month_column]
+    ):
+        tiers = np.asarray(group[tier_column], dtype=np.int64)
+        if tiers.size < min_tests:
+            continue
+        values, counts = np.unique(tiers, return_counts=True)
+        majority = int(values[np.argmax(counts)])
+        out.setdefault(str(user), {})[int(month)] = majority
+    return out
+
+
+def detect_tier_changes(
+    table: ColumnTable,
+    user_column: str = "user_id",
+    month_column: str = "month",
+    tier_column: str = "bst_tier",
+    min_tests: int = 2,
+    persistence_months: int = 2,
+) -> list[TierChange]:
+    """Detect persistent subscription changes per user.
+
+    A change is reported when the majority tier switches and the new
+    tier holds for at least ``persistence_months`` consecutive observed
+    months (single-month flips are attributed to assignment noise).
+    """
+    if persistence_months < 1:
+        raise ValueError("persistence_months must be >= 1")
+    monthly = monthly_majority_tiers(
+        table,
+        user_column=user_column,
+        month_column=month_column,
+        tier_column=tier_column,
+        min_tests=min_tests,
+    )
+    changes: list[TierChange] = []
+    for user, by_month in monthly.items():
+        months = sorted(by_month)
+        if len(months) < 1 + persistence_months:
+            continue
+        current = by_month[months[0]]
+        i = 1
+        while i < len(months):
+            candidate = by_month[months[i]]
+            if candidate != current:
+                run = [
+                    by_month[m] for m in months[i : i + persistence_months]
+                ]
+                if (
+                    len(run) >= persistence_months
+                    and all(t == candidate for t in run)
+                ):
+                    changes.append(
+                        TierChange(
+                            user_id=user,
+                            month=months[i],
+                            old_tier=current,
+                            new_tier=candidate,
+                        )
+                    )
+                    current = candidate
+                    i += persistence_months
+                    continue
+            i += 1
+    return changes

@@ -1,0 +1,137 @@
+"""JSON serialisation of plan catalogs and BST fits.
+
+Contextualising a large city is the pipeline's dominant cost; saving
+the fit lets the CLI and downstream tools reuse assignments without
+refitting.  Everything round-trips through plain JSON-able dicts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.bst import BSTResult, DownloadStageFit, UploadStageFit
+from repro.market.plans import Plan, PlanCatalog
+
+__all__ = [
+    "catalog_to_dict",
+    "catalog_from_dict",
+    "bst_result_to_dict",
+    "bst_result_from_dict",
+    "save_bst_result",
+    "load_bst_result",
+]
+
+
+def catalog_to_dict(catalog: PlanCatalog) -> dict:
+    """Plain-dict form of a plan catalog."""
+    return {
+        "isp_name": catalog.isp_name,
+        "plans": [
+            {
+                "download_mbps": p.download_mbps,
+                "upload_mbps": p.upload_mbps,
+                "tier": p.tier,
+                "name": p.name,
+            }
+            for p in catalog.plans
+        ],
+    }
+
+
+def catalog_from_dict(data: dict) -> PlanCatalog:
+    """Inverse of :func:`catalog_to_dict`."""
+    plans = [
+        Plan(
+            download_mbps=entry["download_mbps"],
+            upload_mbps=entry["upload_mbps"],
+            tier=entry["tier"],
+            name=entry.get("name", ""),
+        )
+        for entry in data["plans"]
+    ]
+    return PlanCatalog(data["isp_name"], plans)
+
+
+def bst_result_to_dict(result: BSTResult) -> dict:
+    """Plain-dict form of a BST fit (JSON-serialisable)."""
+    upload = result.upload_stage
+    return {
+        "catalog": catalog_to_dict(result.catalog),
+        "upload_stage": {
+            "cluster_means": upload.cluster_means.tolist(),
+            "cluster_weights": upload.cluster_weights.tolist(),
+            "cluster_counts": upload.cluster_counts.tolist(),
+            "kde_peak_count": upload.kde_peak_count,
+            "converged": upload.converged,
+            "n_iter": upload.n_iter,
+            "component_means": upload.component_means.tolist(),
+            "component_groups": list(upload.component_groups),
+        },
+        "download_stages": {
+            str(gi): {
+                "group_index": stage.group_index,
+                "cluster_means": stage.cluster_means.tolist(),
+                "cluster_weights": stage.cluster_weights.tolist(),
+                "cluster_counts": stage.cluster_counts.tolist(),
+                "cluster_tiers": list(stage.cluster_tiers),
+                "kde_peak_count": stage.kde_peak_count,
+                "n_components": stage.n_components,
+            }
+            for gi, stage in result.download_stages.items()
+        },
+        "group_indices": result.group_indices.tolist(),
+        "tiers": result.tiers.tolist(),
+    }
+
+
+def bst_result_from_dict(data: dict) -> BSTResult:
+    """Inverse of :func:`bst_result_to_dict`."""
+    catalog = catalog_from_dict(data["catalog"])
+    upload_data = data["upload_stage"]
+    upload = UploadStageFit(
+        groups=catalog.upload_groups(),
+        cluster_means=np.asarray(upload_data["cluster_means"]),
+        cluster_weights=np.asarray(upload_data["cluster_weights"]),
+        cluster_counts=np.asarray(
+            upload_data["cluster_counts"], dtype=np.int64
+        ),
+        kde_peak_count=int(upload_data["kde_peak_count"]),
+        converged=bool(upload_data["converged"]),
+        n_iter=int(upload_data["n_iter"]),
+        component_means=np.asarray(upload_data["component_means"]),
+        component_groups=tuple(upload_data["component_groups"]),
+    )
+    stages = {
+        int(gi): DownloadStageFit(
+            group_index=int(entry["group_index"]),
+            cluster_means=np.asarray(entry["cluster_means"]),
+            cluster_weights=np.asarray(entry["cluster_weights"]),
+            cluster_counts=np.asarray(
+                entry["cluster_counts"], dtype=np.int64
+            ),
+            cluster_tiers=tuple(entry["cluster_tiers"]),
+            kde_peak_count=int(entry["kde_peak_count"]),
+            n_components=int(entry["n_components"]),
+        )
+        for gi, entry in data["download_stages"].items()
+    }
+    return BSTResult(
+        catalog=catalog,
+        upload_stage=upload,
+        download_stages=stages,
+        group_indices=np.asarray(data["group_indices"], dtype=np.int64),
+        tiers=np.asarray(data["tiers"], dtype=np.int64),
+    )
+
+
+def save_bst_result(result: BSTResult, path: str | Path) -> None:
+    """Write a BST fit to a JSON file."""
+    Path(path).write_text(json.dumps(bst_result_to_dict(result)))
+
+
+def load_bst_result(path: str | Path) -> BSTResult:
+    """Read a BST fit back from :func:`save_bst_result` output."""
+    return bst_result_from_dict(json.loads(Path(path).read_text()))

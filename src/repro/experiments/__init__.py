@@ -1,0 +1,20 @@
+"""Experiment drivers: one per table and figure of the paper's evaluation.
+
+Every driver is a function ``run(scale=..., seed=...) -> ExperimentResult``
+registered in :data:`repro.experiments.registry.REGISTRY` under the paper
+artifact id (``fig1``, ``tab2``, ...).  Benchmarks call these drivers and
+print the rendered result; EXPERIMENTS.md records paper-vs-measured for
+each.  ``scale`` trades fidelity for runtime (tests use small scales, the
+benchmark harness larger ones).
+"""
+
+from repro.experiments.base import ExperimentResult, Scale
+from repro.experiments.registry import REGISTRY, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "Scale",
+    "REGISTRY",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,84 @@
+"""Shared experiment scaffolding: result container and scale presets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+__all__ = ["ExperimentResult", "Scale"]
+
+
+class Scale(Enum):
+    """How much synthetic data an experiment generates.
+
+    SMALL keeps unit/integration tests fast; MEDIUM is the benchmark
+    default; LARGE approaches the paper's dataset sizes (Table 1).
+    """
+
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+
+    @property
+    def ookla_tests(self) -> int:
+        return {"small": 4_000, "medium": 20_000, "large": 120_000}[self.value]
+
+    @property
+    def mlab_sessions(self) -> int:
+        return {"small": 4_000, "medium": 20_000, "large": 120_000}[self.value]
+
+    @property
+    def mba_tests(self) -> int:
+        return {"small": 4_000, "medium": 12_000, "large": 25_000}[self.value]
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one reproduced table or figure.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper artifact id (e.g. "fig9c", "tab2").
+    title:
+        Human-readable description.
+    sections:
+        Ordered ``{heading: rendered text}`` blocks (tables, CDF series).
+    metrics:
+        Headline numbers (medians, accuracies, shares) keyed by name --
+        what integration tests assert on and EXPERIMENTS.md records.
+    paper_values:
+        The corresponding numbers the paper reports, for side-by-side
+        comparison.  Keys match ``metrics`` where a direct counterpart
+        exists.
+    notes:
+        Caveats (e.g. known calibration deltas).
+    """
+
+    experiment_id: str
+    title: str
+    sections: dict[str, str] = field(default_factory=dict)
+    metrics: dict[str, float] = field(default_factory=dict)
+    paper_values: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        """Full text report of the experiment."""
+        lines = [f"== {self.experiment_id}: {self.title} =="]
+        for heading, body in self.sections.items():
+            lines.append(f"-- {heading} --")
+            lines.append(body)
+        if self.metrics:
+            lines.append("-- metrics (measured vs paper) --")
+            for key in self.metrics:
+                measured = self.metrics[key]
+                paper = self.paper_values.get(key)
+                if paper is None:
+                    lines.append(f"{key}: {measured:.4g}")
+                else:
+                    lines.append(
+                        f"{key}: {measured:.4g} (paper: {paper:.4g})"
+                    )
+        if self.notes:
+            lines.append(f"notes: {self.notes}")
+        return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Shared, cached dataset generation for the experiment drivers.
+
+Several experiments consume the same simulated city datasets; generating
+and contextualising them is the dominant cost.  This module memoises both
+per (city, scale, seed) so a benchmark run touches each dataset once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.experiments.base import Scale
+from repro.frame import ColumnTable
+from repro.market.isps import city_catalog, state_catalog
+from repro.pipeline.contextualize import ContextualizedDataset, contextualize
+from repro.pipeline.ndt_join import join_ndt_tests
+from repro.vendors.mba import MBASimulator
+from repro.vendors.mlab import MLabSimulator
+from repro.vendors.ookla import OoklaSimulator
+
+__all__ = [
+    "ookla_dataset",
+    "mlab_joined_dataset",
+    "mba_dataset",
+    "ookla_contextualized",
+    "mlab_contextualized",
+]
+
+
+@lru_cache(maxsize=32)
+def ookla_dataset(city: str, scale: Scale, seed: int) -> ColumnTable:
+    """Simulated Ookla measurements for one city."""
+    return OoklaSimulator(city, seed=seed).generate(scale.ookla_tests)
+
+
+@lru_cache(maxsize=32)
+def mlab_raw_dataset(city: str, scale: Scale, seed: int) -> ColumnTable:
+    """Raw (direction-separated) NDT records for one city."""
+    return MLabSimulator(city, seed=seed).generate(scale.mlab_sessions)
+
+
+@lru_cache(maxsize=32)
+def mlab_joined_dataset(city: str, scale: Scale, seed: int) -> ColumnTable:
+    """NDT records after the 120 s download/upload association."""
+    return join_ndt_tests(mlab_raw_dataset(city, scale, seed))
+
+
+@lru_cache(maxsize=32)
+def mba_dataset(state: str, scale: Scale, seed: int) -> ColumnTable:
+    """Simulated MBA panel measurements for one state."""
+    return MBASimulator(state, seed=seed).generate(scale.mba_tests)
+
+
+@lru_cache(maxsize=32)
+def ookla_contextualized(
+    city: str, scale: Scale, seed: int
+) -> ContextualizedDataset:
+    """Ookla data with BST tier context attached."""
+    return contextualize(ookla_dataset(city, scale, seed), city_catalog(city))
+
+
+@lru_cache(maxsize=32)
+def mlab_contextualized(
+    city: str, scale: Scale, seed: int
+) -> ContextualizedDataset:
+    """Joined M-Lab data with BST tier context attached."""
+    return contextualize(
+        mlab_joined_dataset(city, scale, seed), city_catalog(city)
+    )
+
+
+def clear_caches() -> None:
+    """Drop all memoised datasets (tests use this for isolation)."""
+    for fn in (
+        ookla_dataset,
+        mlab_raw_dataset,
+        mlab_joined_dataset,
+        mba_dataset,
+        ookla_contextualized,
+        mlab_contextualized,
+    ):
+        fn.cache_clear()

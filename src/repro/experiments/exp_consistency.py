@@ -1,0 +1,89 @@
+"""Figure 2 and Figure 8: consistency of speeds and of BST assignments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.consistency import alpha_values, per_user_consistency_factors
+from repro.experiments import data
+from repro.experiments.base import ExperimentResult, Scale
+from repro.pipeline.report import format_table
+from repro.stats.descriptive import median, quantiles
+
+__all__ = ["run_fig2", "run_fig8"]
+
+
+def run_fig2(scale: Scale = Scale.MEDIUM, seed: int = 0) -> ExperimentResult:
+    """Figure 2: consistency factor CDF for iOS users with >= 5 tests.
+
+    The paper reports a median download consistency factor of 0.58 versus
+    0.87 for upload -- the observation that justifies clustering uploads
+    first.
+    """
+    ookla = data.ookla_dataset("A", scale, seed)
+    ios = ookla.filter(ookla["platform"] == "ios")
+    download_cf = per_user_consistency_factors(ios, "download_mbps")
+    upload_cf = per_user_consistency_factors(ios, "upload_mbps")
+    dl = np.asarray(download_cf["consistency_factor"], dtype=float)
+    ul = np.asarray(upload_cf["consistency_factor"], dtype=float)
+    rows = []
+    for q, name in ((0.25, "p25"), (0.5, "median"), (0.75, "p75")):
+        rows.append(
+            [
+                name,
+                round(float(np.quantile(dl, q)), 3) if dl.size else "-",
+                round(float(np.quantile(ul, q)), 3) if ul.size else "-",
+            ]
+        )
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Per-user consistency factor (iOS, >=5 tests)",
+        sections={
+            "quantiles": format_table(
+                rows, ["quantile", "download", "upload"]
+            ),
+            "users": f"{len(download_cf)} qualifying users",
+        },
+        metrics={
+            "median_download_cf": median(dl),
+            "median_upload_cf": median(ul),
+            "n_users": float(len(download_cf)),
+        },
+        paper_values={
+            "median_download_cf": 0.58,
+            "median_upload_cf": 0.87,
+        },
+        notes="Upload must be markedly more consistent than download.",
+    )
+
+
+def run_fig8(scale: Scale = Scale.MEDIUM, seed: int = 0) -> ExperimentResult:
+    """Figure 8: CDF of alpha (per-user/month max single-tier share).
+
+    The paper's median alpha is 1: for most users, every test in a month
+    is assigned to the same tier.
+    """
+    ctx = data.ookla_contextualized("A", scale, seed)
+    native = ctx.table.filter(ctx.table["origin"] == "native")
+    alphas = alpha_values(native, tier_column="bst_tier")
+    values = np.asarray(alphas["alpha"], dtype=float)
+    qs = quantiles(values, (0.1, 0.25, 0.5, 0.75, 0.9)) if values.size else {}
+    rows = [[f"p{int(q * 100)}", round(v, 3)] for q, v in qs.items()]
+    frac_stable = (
+        float(np.mean(values == 1.0)) if values.size else float("nan")
+    )
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Alpha: stability of BST assignment per user-month",
+        sections={
+            "alpha quantiles": format_table(rows, ["quantile", "alpha"]),
+            "user-months": f"{len(values)} qualifying user-months",
+        },
+        metrics={
+            "median_alpha": median(values),
+            "fraction_alpha_1": frac_stable,
+            "n_user_months": float(len(values)),
+        },
+        paper_values={"median_alpha": 1.0},
+        notes="Alpha should skew hard toward 1 (median exactly 1).",
+    )

@@ -1,0 +1,116 @@
+"""Figures 9 and 10: local-factor impact on normalised download speed."""
+
+from __future__ import annotations
+
+from repro.experiments import data
+from repro.experiments.base import ExperimentResult, Scale
+from repro.pipeline.diagnosis import (
+    GroupComparison,
+    access_type_comparison,
+    bottleneck_comparison,
+    memory_comparison,
+    rssi_comparison,
+    wifi_band_comparison,
+)
+from repro.pipeline.report import format_table
+
+__all__ = ["run_fig9", "run_fig10"]
+
+
+def _comparison_section(comparison: GroupComparison) -> str:
+    medians = comparison.medians()
+    shares = comparison.shares()
+    rows = [
+        [label, comparison.counts()[label], round(shares[label], 3),
+         round(medians[label], 3)]
+        for label in comparison.groups
+    ]
+    return format_table(rows, ["group", "n", "share", "median norm dl"])
+
+
+_PAPER_FIG9 = {
+    "wifi_median": 0.28,
+    "ethernet_median": 0.71,
+    "band24_median": 0.11,
+    "band5_median": 0.40,
+    "rssi_best_median": 0.52,
+    "rssi_good_median": 0.49,
+    "rssi_fair_median": 0.30,
+    "rssi_poor_median": 0.20,
+    "mem_lt2_median": 0.16,
+    "mem_2_4_median": 0.48,
+    "mem_4_6_median": 0.52,
+    "mem_gt6_median": 0.53,
+}
+
+
+def run_fig9(scale: Scale = Scale.MEDIUM, seed: int = 0) -> ExperimentResult:
+    """Figure 9(a-d): access type, WiFi band, RSSI and memory effects."""
+    ctx = data.ookla_contextualized("A", scale, seed)
+    table = ctx.table
+    access = access_type_comparison(table)
+    band = wifi_band_comparison(table)
+    rssi = rssi_comparison(table)
+    memory = memory_comparison(table)
+
+    rssi_meds = rssi.medians()
+    mem_meds = memory.medians()
+    metrics = {
+        "wifi_median": access.group_median("WiFi"),
+        "ethernet_median": access.group_median("Ethernet"),
+        "band24_median": band.group_median("2.4 GHz"),
+        "band5_median": band.group_median("5 GHz"),
+        "rssi_best_median": rssi_meds[">= -30 dBm"],
+        "rssi_good_median": rssi_meds["-50 dBm - -30 dBm"],
+        "rssi_fair_median": rssi_meds["-70 dBm - -50 dBm"],
+        "rssi_poor_median": rssi_meds["< -70 dBm"],
+        "mem_lt2_median": mem_meds["< 2 GB"],
+        "mem_2_4_median": mem_meds["2 GB - 4 GB"],
+        "mem_4_6_median": mem_meds["4 GB - 6 GB"],
+        "mem_gt6_median": mem_meds["> 6 GB"],
+    }
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Local-factor impact on normalised download speed",
+        sections={
+            "9a: access type": _comparison_section(access),
+            "9b: WiFi band (Android)": _comparison_section(band),
+            "9c: RSSI (5 GHz Android)": _comparison_section(rssi),
+            "9d: memory (5 GHz, RSSI > -50)": _comparison_section(memory),
+        },
+        metrics=metrics,
+        paper_values=dict(_PAPER_FIG9),
+        notes=(
+            "Shapes to hold: Ethernet >> WiFi; 5 GHz >> 2.4 GHz; RSSI "
+            "monotone; < 2 GB memory sharply capped while bins above "
+            "2 GB are similar."
+        ),
+    )
+
+
+def run_fig10(scale: Scale = Scale.MEDIUM, seed: int = 0) -> ExperimentResult:
+    """Figure 10: Best vs Local-bottleneck Android tests.
+
+    Paper: 61% of Android tests fall in the Local-bottleneck group and
+    achieve a median normalised download speed of 0.22, versus 0.52 for
+    the Best group.
+    """
+    ctx = data.ookla_contextualized("A", scale, seed)
+    comparison = bottleneck_comparison(ctx.table)
+    shares = comparison.shares()
+    medians = comparison.medians()
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Best vs Local-bottleneck Android tests",
+        sections={"comparison": _comparison_section(comparison)},
+        metrics={
+            "best_median": medians["Best"],
+            "bottleneck_median": medians["Local-bottleneck"],
+            "bottleneck_share": shares["Local-bottleneck"],
+        },
+        paper_values={
+            "best_median": 0.52,
+            "bottleneck_median": 0.22,
+            "bottleneck_share": 0.61,
+        },
+    )

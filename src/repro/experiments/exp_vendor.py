@@ -1,0 +1,64 @@
+"""Figure 13: Ookla vs M-Lab within matched subscription tiers."""
+
+from __future__ import annotations
+
+from repro.experiments import data
+from repro.experiments.base import ExperimentResult, Scale
+from repro.pipeline.report import format_table
+from repro.pipeline.vendor_compare import compare_vendors
+
+__all__ = ["run_fig13"]
+
+# Paper Section 6.3: M-Lab's median normalised download lags Ookla's by
+# roughly these factors per City-A upload group.
+_PAPER_LAG = {
+    "Tier 1-3": 1.2,
+    "Tier 4": 2.0,
+    "Tier 5": 1.4,
+    "Tier 6": 1.2,
+}
+
+
+def run_fig13(scale: Scale = Scale.MEDIUM, seed: int = 0) -> ExperimentResult:
+    """Figure 13: normalised download per tier, Ookla vs M-Lab (City-A)."""
+    ookla = data.ookla_contextualized("A", scale, seed)
+    mlab = data.mlab_contextualized("A", scale, seed)
+    comparison = compare_vendors(ookla, mlab)
+    medians = comparison.medians()
+    lags = comparison.lag_factors()
+    rows = []
+    metrics: dict[str, float] = {}
+    for label in comparison.group_labels:
+        ookla_med, mlab_med = medians[label]
+        rows.append(
+            [
+                label,
+                round(ookla_med, 3),
+                round(mlab_med, 3),
+                round(lags[label], 2),
+                _PAPER_LAG.get(label, float("nan")),
+            ]
+        )
+        metrics[f"lag_{label}"] = lags[label]
+        metrics[f"ookla_median_{label}"] = ookla_med
+        metrics[f"mlab_median_{label}"] = mlab_med
+    return ExperimentResult(
+        experiment_id="fig13",
+        title="Ookla vs M-Lab normalised download per tier (City-A)",
+        sections={
+            "comparison": format_table(
+                rows,
+                ["group", "ookla med", "mlab med", "lag", "paper lag"],
+            )
+        },
+        metrics=metrics,
+        paper_values={
+            **{f"lag_{label}": lag for label, lag in _PAPER_LAG.items()},
+            "ookla_median_Tier 1-3": 1.0,
+            "mlab_median_Tier 1-3": 0.83,
+        },
+        notes=(
+            "M-Lab (single TCP flow) must lag Ookla (multi-flow) in every "
+            "tier, by up to ~2x."
+        ),
+    )

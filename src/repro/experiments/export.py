@@ -1,0 +1,66 @@
+"""Export experiment reports to a results directory.
+
+``export_all`` runs every registered experiment (or a chosen subset) at
+one scale and writes each rendered report to
+``<out_dir>/<experiment>.txt`` plus a combined ``summary.txt`` and a
+machine-readable ``metrics.csv``.  The CLI's ``report-all`` subcommand
+wraps this.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.base import ExperimentResult, Scale
+from repro.experiments.registry import REGISTRY, run_experiment
+from repro.frame import ColumnTable, write_csv
+
+__all__ = ["export_all"]
+
+
+def export_all(
+    out_dir: str | Path,
+    experiment_ids: list[str] | None = None,
+    scale: Scale = Scale.MEDIUM,
+    seed: int = 0,
+) -> dict[str, ExperimentResult]:
+    """Run experiments and write their reports under ``out_dir``.
+
+    Returns the results keyed by experiment id.  Unknown ids raise
+    before anything runs.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    ids = sorted(REGISTRY) if experiment_ids is None else experiment_ids
+    unknown = [eid for eid in ids if eid not in REGISTRY]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+
+    results: dict[str, ExperimentResult] = {}
+    summary_lines: list[str] = []
+    metric_rows: dict[str, list] = {
+        "experiment": [],
+        "metric": [],
+        "measured": [],
+        "paper": [],
+    }
+    for eid in ids:
+        result = run_experiment(eid, scale=scale, seed=seed)
+        results[eid] = result
+        report = result.render()
+        (out_dir / f"{eid.replace('/', '_')}.txt").write_text(
+            report + "\n"
+        )
+        summary_lines.append(report)
+        summary_lines.append("")
+        for name, value in result.metrics.items():
+            metric_rows["experiment"].append(eid)
+            metric_rows["metric"].append(name)
+            metric_rows["measured"].append(float(value))
+            paper = result.paper_values.get(name)
+            metric_rows["paper"].append(
+                float(paper) if paper is not None else float("nan")
+            )
+    (out_dir / "summary.txt").write_text("\n".join(summary_lines))
+    write_csv(ColumnTable(metric_rows), out_dir / "metrics.csv")
+    return results

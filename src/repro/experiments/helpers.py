@@ -1,0 +1,63 @@
+"""Small shared helpers for experiment drivers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stats.descriptive import median
+from repro.stats.kde import GaussianKDE
+from repro.stats.peaks import find_density_peaks
+
+__all__ = ["kde_peak_summary", "median_of", "cdf_table"]
+
+
+def kde_peak_summary(
+    values,
+    num_grid: int = 512,
+    min_prominence_frac: float = 0.05,
+    min_height_frac: float = 0.02,
+    log_space: bool = False,
+) -> tuple[list[float], list[float]]:
+    """KDE a sample and return (peak locations, peak heights).
+
+    With ``log_space`` the density is estimated over ``log(values)`` (the
+    right scale for speeds spanning decades) and peak locations are mapped
+    back to Mbps.
+    """
+    values = np.asarray(values, dtype=float)
+    if log_space:
+        values = values[np.isfinite(values) & (values > 0)]
+        kde = GaussianKDE(np.log(values))
+    else:
+        kde = GaussianKDE(values)
+    grid, density = kde.grid(num=num_grid)
+    peaks = find_density_peaks(
+        grid,
+        density,
+        min_prominence_frac=min_prominence_frac,
+        min_height_frac=min_height_frac,
+    )
+    locations = [
+        float(np.exp(p.location)) if log_space else p.location
+        for p in peaks
+    ]
+    return locations, [p.height for p in peaks]
+
+
+def median_of(table, column: str) -> float:
+    """Median of a table column with NaNs dropped."""
+    return median(np.asarray(table[column], dtype=float))
+
+
+def cdf_table(groups: dict[str, np.ndarray], points) -> list[list]:
+    """Rows of CDF values per group at fixed points (figure series)."""
+    from repro.stats.descriptive import cdf_at
+
+    rows = []
+    labels = list(groups)
+    for point in points:
+        row: list = [float(point)]
+        for label in labels:
+            row.append(float(cdf_at(groups[label], [point])[0]))
+        rows.append(row)
+    return rows

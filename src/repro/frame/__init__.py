@@ -1,0 +1,20 @@
+"""Lightweight columnar data-table substrate.
+
+The analysis pipeline in this reproduction is a data-frame workload
+(filter / group-by / join / aggregate over measurement records).  pandas is
+not available in the offline environment, so :mod:`repro.frame` provides a
+small, well-tested columnar table built directly on numpy arrays.
+
+Public API:
+
+- :class:`ColumnTable` -- the table itself.
+- :class:`GroupBy` -- the lazy group-by view returned by
+  :meth:`ColumnTable.groupby`.
+- :func:`concat` -- stack tables that share a schema.
+- :func:`read_csv` / :func:`write_csv` -- plain-text persistence.
+"""
+
+from repro.frame.table import ColumnTable, GroupBy, concat
+from repro.frame.io import read_csv, write_csv
+
+__all__ = ["ColumnTable", "GroupBy", "concat", "read_csv", "write_csv"]

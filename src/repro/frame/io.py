@@ -1,0 +1,97 @@
+"""CSV persistence for :class:`~repro.frame.table.ColumnTable`.
+
+The format is ordinary RFC-4180-ish CSV written through the standard
+library's :mod:`csv` module.  On read, each column is parsed with a simple
+type-inference pass: all-int columns become int64, numeric columns become
+float64 (empty cells become NaN), everything else stays as Python strings in
+an object column.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+import numpy as np
+
+from repro.frame.table import ColumnTable
+
+__all__ = ["read_csv", "write_csv"]
+
+
+def write_csv(table: ColumnTable, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as CSV with a header row."""
+    path = Path(path)
+    names = table.column_names
+    columns = [table[name] for name in names]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(len(table)):
+            writer.writerow([_render(col[i]) for col in columns])
+
+
+def _render(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float) and np.isnan(value):
+        return ""
+    if isinstance(value, np.floating) and np.isnan(value):
+        return ""
+    return str(value)
+
+
+def read_csv(path: str | Path) -> ColumnTable:
+    """Read a CSV with a header row into a :class:`ColumnTable`."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            return ColumnTable()
+        rows = list(reader)
+    if not header:
+        return ColumnTable()
+    columns: dict[str, np.ndarray] = {}
+    for j, name in enumerate(header):
+        raw = [row[j] if j < len(row) else "" for row in rows]
+        columns[name] = _parse_column(raw)
+    return ColumnTable(columns)
+
+
+def _parse_column(raw: list[str]) -> np.ndarray:
+    """Infer int -> float -> str for a column of CSV cells."""
+    non_empty = [cell for cell in raw if cell != ""]
+    if raw and not non_empty:
+        # An all-missing column: NaN floats are the useful reading
+        # (empty cells are how NaN was written out).
+        return np.full(len(raw), np.nan)
+    if non_empty and all(_is_int(cell) for cell in non_empty):
+        if len(non_empty) == len(raw):
+            return np.asarray([int(cell) for cell in raw], dtype=np.int64)
+        # Ints with missing cells must fall back to float for NaN support.
+        return np.asarray(
+            [float(cell) if cell != "" else np.nan for cell in raw]
+        )
+    if non_empty and all(_is_float(cell) for cell in non_empty):
+        return np.asarray(
+            [float(cell) if cell != "" else np.nan for cell in raw]
+        )
+    return np.asarray(raw, dtype=object)
+
+
+def _is_int(cell: str) -> bool:
+    try:
+        int(cell)
+    except ValueError:
+        return False
+    return True
+
+
+def _is_float(cell: str) -> bool:
+    try:
+        float(cell)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,549 @@
+"""A minimal columnar table built on numpy arrays.
+
+:class:`ColumnTable` stores each column as a 1-D numpy array; all columns
+share the same length.  Operations return *new* tables -- columns are never
+mutated in place by the query API, which keeps the analysis pipeline free of
+aliasing surprises.
+
+The feature set is intentionally the subset of pandas this reproduction
+needs: boolean filtering, column selection, sorting, group-by with named
+aggregations, inner/left joins on key columns, and vertical concatenation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["ColumnTable", "GroupBy", "concat"]
+
+
+def _as_column(values: Any) -> np.ndarray:
+    """Coerce ``values`` to a 1-D numpy array suitable for a column.
+
+    Strings become object arrays so that mixed-width values never truncate;
+    numeric input keeps its dtype (ints are preserved, floats stay floats).
+    """
+    arr = np.asarray(values)
+    if arr.ndim == 0:
+        raise ValueError("a column must be a sequence, got a scalar")
+    if arr.ndim != 1:
+        raise ValueError(f"a column must be 1-D, got shape {arr.shape}")
+    if arr.dtype.kind in ("U", "S"):
+        arr = arr.astype(object)
+    return arr
+
+
+class ColumnTable:
+    """An immutable-by-convention columnar table.
+
+    Parameters
+    ----------
+    columns:
+        Mapping of column name to a 1-D sequence.  All columns must have
+        equal length.
+
+    Examples
+    --------
+    >>> t = ColumnTable({"x": [1, 2, 3], "y": ["a", "b", "a"]})
+    >>> len(t)
+    3
+    >>> t.filter(t["x"] > 1).to_dicts()
+    [{'x': 2, 'y': 'b'}, {'x': 3, 'y': 'a'}]
+    """
+
+    def __init__(self, columns: Mapping[str, Any] | None = None):
+        self._columns: dict[str, np.ndarray] = {}
+        self._length = 0
+        if columns:
+            first = True
+            for name, values in columns.items():
+                arr = _as_column(values)
+                if first:
+                    self._length = len(arr)
+                    first = False
+                elif len(arr) != self._length:
+                    raise ValueError(
+                        f"column {name!r} has length {len(arr)}, "
+                        f"expected {self._length}"
+                    )
+                self._columns[str(name)] = arr
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> list[str]:
+        """Names of the columns, in insertion order."""
+        return list(self._columns)
+
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._columns)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        """Return the backing array for ``name``.
+
+        The array is the live backing store; callers must treat it as
+        read-only.
+        """
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; available: {self.column_names}"
+            ) from None
+
+    def column(self, name: str) -> np.ndarray:
+        """Alias of :meth:`__getitem__` for readability at call sites."""
+        return self[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(
+            f"{name}:{arr.dtype}" for name, arr in self._columns.items()
+        )
+        return f"ColumnTable({self._length} rows; {cols})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ColumnTable):
+            return NotImplemented
+        if self.column_names != other.column_names or len(self) != len(other):
+            return False
+        for name in self.column_names:
+            a, b = self[name], other[name]
+            if a.dtype.kind == "f" and b.dtype.kind == "f":
+                if not np.allclose(a, b, equal_nan=True):
+                    return False
+            elif not np.array_equal(a, b):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dicts(cls, rows: Sequence[Mapping[str, Any]]) -> "ColumnTable":
+        """Build a table from a sequence of row dictionaries.
+
+        All rows must share the same key set; the column order follows the
+        first row.
+        """
+        rows = list(rows)
+        if not rows:
+            return cls()
+        names = list(rows[0])
+        key_set = set(names)
+        for i, row in enumerate(rows):
+            if set(row) != key_set:
+                raise ValueError(f"row {i} keys {set(row)} != {key_set}")
+        return cls({name: [row[name] for row in rows] for name in names})
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Materialise the table as a list of row dictionaries."""
+        names = self.column_names
+        columns = [self._columns[name].tolist() for name in names]
+        return [dict(zip(names, values)) for values in zip(*columns)]
+
+    def copy(self) -> "ColumnTable":
+        """Deep-copy the table (fresh arrays)."""
+        return ColumnTable(
+            {name: arr.copy() for name, arr in self._columns.items()}
+        )
+
+    def with_column(self, name: str, values: Any) -> "ColumnTable":
+        """Return a new table with ``name`` added or replaced."""
+        arr = _as_column(values)
+        if self._columns and len(arr) != self._length:
+            raise ValueError(
+                f"column {name!r} has length {len(arr)}, "
+                f"expected {self._length}"
+            )
+        new = dict(self._columns)
+        new[str(name)] = arr
+        return ColumnTable(new)
+
+    def without_columns(self, names: Iterable[str]) -> "ColumnTable":
+        """Return a new table dropping ``names`` (missing names are errors)."""
+        drop = set(names)
+        missing = drop - set(self._columns)
+        if missing:
+            raise KeyError(f"cannot drop missing columns: {sorted(missing)}")
+        return ColumnTable(
+            {n: a for n, a in self._columns.items() if n not in drop}
+        )
+
+    def rename(self, mapping: Mapping[str, str]) -> "ColumnTable":
+        """Return a new table with columns renamed via ``mapping``."""
+        missing = set(mapping) - set(self._columns)
+        if missing:
+            raise KeyError(f"cannot rename missing columns: {sorted(missing)}")
+        return ColumnTable(
+            {mapping.get(n, n): a for n, a in self._columns.items()}
+        )
+
+    # ------------------------------------------------------------------
+    # Row-wise queries
+    # ------------------------------------------------------------------
+    def select(self, names: Sequence[str]) -> "ColumnTable":
+        """Return a new table with only ``names`` (in the given order)."""
+        return ColumnTable({name: self[name] for name in names})
+
+    def filter(self, mask: Any) -> "ColumnTable":
+        """Return the rows where ``mask`` is true.
+
+        ``mask`` is a boolean array of the table length, or a callable that
+        receives this table and returns such an array.
+        """
+        if callable(mask):
+            mask = mask(self)
+        mask = np.asarray(mask)
+        if mask.dtype != bool:
+            raise TypeError(f"filter mask must be boolean, got {mask.dtype}")
+        if len(mask) != self._length:
+            raise ValueError(
+                f"mask length {len(mask)} != table length {self._length}"
+            )
+        return self.take(np.flatnonzero(mask))
+
+    def take(self, indices: Any) -> "ColumnTable":
+        """Return the rows at integer ``indices`` (gather)."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return ColumnTable(
+            {name: arr[indices] for name, arr in self._columns.items()}
+        )
+
+    def head(self, n: int = 5) -> "ColumnTable":
+        """Return the first ``n`` rows."""
+        return self.take(np.arange(min(n, self._length)))
+
+    def sort_by(
+        self, names: str | Sequence[str], descending: bool = False
+    ) -> "ColumnTable":
+        """Return the table sorted by one or more key columns (stable)."""
+        if isinstance(names, str):
+            names = [names]
+        if not names:
+            raise ValueError("sort_by needs at least one column")
+        # np.lexsort sorts by the *last* key first, so reverse the list.
+        keys = [self[name] for name in reversed(list(names))]
+        order = np.lexsort(keys)
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def row(self, index: int) -> dict[str, Any]:
+        """Return row ``index`` as a plain dictionary."""
+        if not -self._length <= index < self._length:
+            raise IndexError(
+                f"row {index} out of range for {self._length} rows"
+            )
+        return {
+            name: arr[index].item() if hasattr(arr[index], "item") else arr[index]
+            for name, arr in self._columns.items()
+        }
+
+    def sample(self, n: int, seed: int = 0) -> "ColumnTable":
+        """Random sample of ``n`` rows without replacement (seeded)."""
+        if n < 0:
+            raise ValueError("sample size cannot be negative")
+        n = min(n, self._length)
+        rng = np.random.default_rng(seed)
+        return self.take(rng.choice(self._length, size=n, replace=False))
+
+    def describe(self) -> "ColumnTable":
+        """Per-column summary: dtype, non-null count, min/median/max.
+
+        Non-numeric columns report the distinct-value count in place of
+        the numeric summary.
+        """
+        rows = {
+            "column": [],
+            "dtype": [],
+            "non_null": [],
+            "min": [],
+            "median": [],
+            "max": [],
+            "distinct": [],
+        }
+        for name, arr in self._columns.items():
+            rows["column"].append(name)
+            rows["dtype"].append(str(arr.dtype))
+            if arr.dtype.kind in ("f", "i", "u"):
+                values = np.asarray(arr, dtype=float)
+                finite = values[np.isfinite(values)]
+                rows["non_null"].append(int(finite.size))
+                if finite.size:
+                    rows["min"].append(float(finite.min()))
+                    rows["median"].append(float(np.median(finite)))
+                    rows["max"].append(float(finite.max()))
+                else:
+                    rows["min"].append(np.nan)
+                    rows["median"].append(np.nan)
+                    rows["max"].append(np.nan)
+                rows["distinct"].append(int(np.unique(finite).size))
+            else:
+                non_null = [v for v in arr.tolist() if v not in (None, "")]
+                rows["non_null"].append(len(non_null))
+                rows["min"].append(np.nan)
+                rows["median"].append(np.nan)
+                rows["max"].append(np.nan)
+                rows["distinct"].append(len(set(non_null)))
+        return ColumnTable(rows)
+
+    def crosstab(self, row_key: str, col_key: str) -> dict[tuple, int]:
+        """Counts per (row value, column value) pair."""
+        rows = self[row_key]
+        cols = self[col_key]
+        out: dict[tuple, int] = {}
+        for i in range(self._length):
+            key = (rows[i], cols[i])
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def unique(self, name: str) -> np.ndarray:
+        """Return the sorted unique values of a column."""
+        return np.unique(self[name])
+
+    def value_counts(self, name: str) -> dict[Any, int]:
+        """Return ``{value: count}`` for a column, sorted by value."""
+        values, counts = np.unique(self[name], return_counts=True)
+        return {
+            v.item() if hasattr(v, "item") else v: int(c)
+            for v, c in zip(values, counts)
+        }
+
+    # ------------------------------------------------------------------
+    # Group-by and join
+    # ------------------------------------------------------------------
+    def groupby(self, names: str | Sequence[str]) -> "GroupBy":
+        """Group rows by one or more key columns.
+
+        Returns a :class:`GroupBy` whose :meth:`GroupBy.agg` and
+        :meth:`GroupBy.apply` materialise results.
+        """
+        if isinstance(names, str):
+            names = [names]
+        return GroupBy(self, list(names))
+
+    def join(
+        self,
+        other: "ColumnTable",
+        on: str | Sequence[str],
+        how: str = "inner",
+        suffix: str = "_right",
+    ) -> "ColumnTable":
+        """Join with ``other`` on key column(s) ``on``.
+
+        ``how`` is ``"inner"`` or ``"left"``.  Non-key columns of ``other``
+        that collide with columns of ``self`` are renamed with ``suffix``.
+        For a left join with no match, numeric right columns become NaN and
+        object columns become ``None``.  When a key matches multiple right
+        rows, the output contains one row per match pair (SQL semantics).
+        """
+        if how not in ("inner", "left"):
+            raise ValueError(f"unsupported join type {how!r}")
+        keys = [on] if isinstance(on, str) else list(on)
+        for key in keys:
+            if key not in self or key not in other:
+                raise KeyError(f"join key {key!r} missing from a table")
+
+        right_index: dict[tuple, list[int]] = {}
+        right_key_cols = [other[k] for k in keys]
+        for i in range(len(other)):
+            key = tuple(col[i] for col in right_key_cols)
+            right_index.setdefault(key, []).append(i)
+
+        left_rows: list[int] = []
+        right_rows: list[int] = []  # -1 marks "no match" for left joins
+        left_key_cols = [self[k] for k in keys]
+        for i in range(len(self)):
+            key = tuple(col[i] for col in left_key_cols)
+            matches = right_index.get(key)
+            if matches:
+                for j in matches:
+                    left_rows.append(i)
+                    right_rows.append(j)
+            elif how == "left":
+                left_rows.append(i)
+                right_rows.append(-1)
+
+        left_idx = np.asarray(left_rows, dtype=np.intp)
+        right_idx = np.asarray(right_rows, dtype=np.intp)
+        out: dict[str, np.ndarray] = {
+            name: arr[left_idx] for name, arr in self._columns.items()
+        }
+        matched = right_idx >= 0
+        for name, arr in other._columns.items():
+            if name in keys:
+                continue
+            out_name = name if name not in out else name + suffix
+            if matched.all():
+                out[out_name] = arr[right_idx]
+            else:
+                # Unmatched left rows need a missing marker.
+                if arr.dtype.kind in ("f", "i", "u", "b"):
+                    col = np.full(len(right_idx), np.nan, dtype=float)
+                else:
+                    col = np.full(len(right_idx), None, dtype=object)
+                if matched.any():
+                    col[matched] = arr[right_idx[matched]]
+                out[out_name] = col
+        return ColumnTable(out)
+
+
+class GroupBy:
+    """Lazy group-by view produced by :meth:`ColumnTable.groupby`."""
+
+    def __init__(self, table: ColumnTable, keys: list[str]):
+        if not keys:
+            raise ValueError("groupby needs at least one key column")
+        for key in keys:
+            if key not in table:
+                raise KeyError(f"groupby key {key!r} not in table")
+        self._table = table
+        self._keys = keys
+        self._groups = self._build_groups()
+
+    def _build_groups(self) -> dict[tuple, np.ndarray]:
+        key_cols = [self._table[k] for k in self._keys]
+        if len(key_cols) == 1:
+            return self._build_groups_single(key_cols[0])
+        buckets: dict[tuple, list[int]] = {}
+        for i in range(len(self._table)):
+            key = tuple(col[i] for col in key_cols)
+            buckets.setdefault(key, []).append(i)
+        return {
+            key: np.asarray(rows, dtype=np.intp)
+            for key, rows in buckets.items()
+        }
+
+    @staticmethod
+    def _build_groups_single(column: np.ndarray) -> dict[tuple, np.ndarray]:
+        """Vectorised single-key grouping via np.unique + argsort.
+
+        Keys are reordered to first-appearance order so the fast path
+        is observably identical to the generic one.
+        """
+        if column.size == 0:
+            return {}
+        values, inverse = np.unique(column, return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        boundaries = np.flatnonzero(np.diff(inverse[order])) + 1
+        chunks = np.split(order, boundaries)
+        first_seen = np.argsort(
+            [chunk[0] for chunk in chunks], kind="stable"
+        )
+        groups: dict[tuple, np.ndarray] = {}
+        for index in first_seen:
+            chunk = chunks[index]
+            value = values[inverse[chunk[0]]]
+            key = value.item() if hasattr(value, "item") else value
+            groups[(key,)] = np.sort(chunk).astype(np.intp)
+        return groups
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    def __iter__(self) -> Iterator[tuple[tuple, ColumnTable]]:
+        """Yield ``(key_tuple, group_table)`` pairs in first-seen order."""
+        for key, rows in self._groups.items():
+            yield key, self._table.take(rows)
+
+    def groups(self) -> dict[tuple, np.ndarray]:
+        """Return ``{key_tuple: row_indices}`` (copies of the indices)."""
+        return {key: rows.copy() for key, rows in self._groups.items()}
+
+    def size(self) -> ColumnTable:
+        """Return a table of group keys plus a ``count`` column."""
+        return self.agg(count=("*", "count"))
+
+    def agg(self, **named: tuple[str, str | Callable]) -> ColumnTable:
+        """Aggregate each group.
+
+        Each keyword is ``out_name=(column, func)`` where ``func`` is one of
+        the strings ``count, sum, mean, median, min, max, std, p95`` or a
+        callable receiving the group's column values.  Use column ``"*"``
+        with ``count`` to count rows.
+
+        >>> t = ColumnTable({"g": ["a", "a", "b"], "x": [1.0, 3.0, 5.0]})
+        >>> t.groupby("g").agg(mean_x=("x", "mean")).to_dicts()
+        [{'g': 'a', 'mean_x': 2.0}, {'g': 'b', 'mean_x': 5.0}]
+        """
+        if not named:
+            raise ValueError("agg needs at least one aggregation")
+        reducers: dict[str, Callable[[np.ndarray], Any]] = {
+            "count": len,
+            "sum": np.sum,
+            "mean": np.mean,
+            "median": np.median,
+            "min": np.min,
+            "max": np.max,
+            "std": lambda v: float(np.std(v, ddof=0)),
+            "p95": lambda v: float(np.percentile(v, 95)),
+        }
+        key_rows: list[tuple] = list(self._groups)
+        out: dict[str, list] = {k: [] for k in self._keys}
+        for key in key_rows:
+            for name, value in zip(self._keys, key):
+                out[name].append(value)
+        for out_name, (col_name, func) in named.items():
+            if isinstance(func, str):
+                if func not in reducers:
+                    raise ValueError(
+                        f"unknown aggregation {func!r}; "
+                        f"expected one of {sorted(reducers)}"
+                    )
+                reducer = reducers[func]
+            else:
+                reducer = func
+            values = []
+            for key in key_rows:
+                rows = self._groups[key]
+                if col_name == "*":
+                    values.append(reducer(rows) if callable(reducer) else len(rows))
+                else:
+                    values.append(reducer(self._table[col_name][rows]))
+            out[out_name] = values
+        return ColumnTable(out)
+
+    def apply(self, func: Callable[[ColumnTable], Any]) -> dict[tuple, Any]:
+        """Call ``func`` on each group table; return ``{key: result}``."""
+        return {
+            key: func(self._table.take(rows))
+            for key, rows in self._groups.items()
+        }
+
+
+def concat(tables: Sequence[ColumnTable]) -> ColumnTable:
+    """Vertically stack tables that share an identical column-name set.
+
+    Column order follows the first table.  Mixed dtypes across tables are
+    resolved by numpy's concatenate promotion.
+    """
+    tables = [t for t in tables if len(t.column_names)]
+    if not tables:
+        return ColumnTable()
+    names = tables[0].column_names
+    name_set = set(names)
+    for i, t in enumerate(tables[1:], start=1):
+        if set(t.column_names) != name_set:
+            raise ValueError(
+                f"table {i} columns {t.column_names} != {names}"
+            )
+    return ColumnTable(
+        {name: np.concatenate([t[name] for t in tables]) for name in names}
+    )

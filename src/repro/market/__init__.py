@@ -1,0 +1,54 @@
+"""Broadband market model: ISP plan catalogs, coverage, and subscribers.
+
+This subpackage replaces the paper's proprietary market inputs:
+
+- FCC Form 477 census-block deployment data -> :mod:`repro.market.census`
+- Zillow ZTRAX street addresses -> :mod:`repro.market.addresses`
+- the per-address ISP plan-query tool of Major et al. [42]
+  -> :mod:`repro.market.query_tool`
+- the four city/ISP plan menus described in Sections 4.1 and the appendix
+  -> :mod:`repro.market.isps`
+- the subscriber population (who bought which tier, on which devices)
+  -> :mod:`repro.market.population`
+"""
+
+from repro.market.plans import Plan, PlanCatalog, UploadGroup
+from repro.market.isps import (
+    CITY_IDS,
+    city_catalog,
+    state_catalog,
+    all_city_catalogs,
+    catalog_from_menu,
+)
+from repro.market.census import CensusBlock, CensusGrid, Form477Record, Form477Dataset
+from repro.market.addresses import Address, AddressDataset
+from repro.market.query_tool import PlanQueryTool, QueryBudgetExceeded
+from repro.market.population import (
+    Household,
+    Subscriber,
+    SubscriberPopulation,
+    PopulationConfig,
+)
+
+__all__ = [
+    "Plan",
+    "PlanCatalog",
+    "UploadGroup",
+    "CITY_IDS",
+    "city_catalog",
+    "state_catalog",
+    "all_city_catalogs",
+    "catalog_from_menu",
+    "CensusBlock",
+    "CensusGrid",
+    "Form477Record",
+    "Form477Dataset",
+    "Address",
+    "AddressDataset",
+    "PlanQueryTool",
+    "QueryBudgetExceeded",
+    "Household",
+    "Subscriber",
+    "SubscriberPopulation",
+    "PopulationConfig",
+]

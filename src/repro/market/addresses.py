@@ -1,0 +1,89 @@
+"""Synthetic street-address dataset (the Zillow ZTRAX substitute).
+
+Section 4.1: "we utilize the residential property address dataset from
+Zillow to create an address set for each of the four cities in our study.
+Then, we randomly select 100K residential addresses for each city and
+collect the ISP-offered plans."  This module generates clean, well-formed
+street addresses attached to census blocks so the plan-query tool has
+realistic input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.market.census import CensusGrid
+
+__all__ = ["Address", "AddressDataset"]
+
+_STREET_NAMES = (
+    "Oak", "Maple", "Cedar", "Pine", "Elm", "Walnut", "Chestnut", "Birch",
+    "Sycamore", "Willow", "Juniper", "Laurel", "Magnolia", "Hickory",
+    "Aspen", "Poplar", "Cypress", "Redwood", "Alder", "Hawthorn",
+)
+_STREET_TYPES = ("St", "Ave", "Dr", "Ln", "Rd", "Ct", "Way", "Pl")
+
+
+@dataclass(frozen=True)
+class Address:
+    """A formatted residential street address tied to a census block."""
+
+    street_number: int
+    street_name: str
+    street_type: str
+    city: str
+    block_id: str
+
+    @property
+    def formatted(self) -> str:
+        return (
+            f"{self.street_number} {self.street_name} {self.street_type}, "
+            f"City-{self.city}"
+        )
+
+
+class AddressDataset:
+    """Residential addresses for one city, generated from its census grid.
+
+    Each census block gets one address per household; addresses within a
+    block share a street (blocks are small).  Generation is deterministic
+    per seed.
+    """
+
+    def __init__(self, grid: CensusGrid, seed: int = 0):
+        self.city = grid.city
+        rng = np.random.default_rng(seed)
+        addresses: list[Address] = []
+        for block in grid.blocks:
+            name = _STREET_NAMES[int(rng.integers(0, len(_STREET_NAMES)))]
+            stype = _STREET_TYPES[int(rng.integers(0, len(_STREET_TYPES)))]
+            base = int(rng.integers(1, 9000))
+            for i in range(block.households):
+                addresses.append(
+                    Address(
+                        street_number=base + 2 * i,
+                        street_name=name,
+                        street_type=stype,
+                        city=grid.city,
+                        block_id=block.block_id,
+                    )
+                )
+        self.addresses: tuple[Address, ...] = tuple(addresses)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def sample(self, n: int, seed: int = 0) -> list[Address]:
+        """Random sample of ``n`` addresses without replacement.
+
+        This is the paper's "randomly select 100K residential addresses"
+        step, capped at the dataset size.
+        """
+        if n < 0:
+            raise ValueError("sample size cannot be negative")
+        n = min(n, len(self.addresses))
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(len(self.addresses), size=n, replace=False)
+        return [self.addresses[i] for i in picks]

@@ -1,0 +1,200 @@
+"""FCC Form 477 substrate: census blocks and ISP coverage.
+
+The paper uses Form 477 once (Section 3.1): "we use this dataset to compute
+the number of census blocks served by an ISP in a city and pick the one
+that covers the highest number of blocks".  This module simulates a city's
+census-block grid with per-ISP coverage records so that the dominant-ISP
+selection step can be run, tested, and benchmarked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "CensusBlock",
+    "CensusGrid",
+    "Form477Record",
+    "Form477Dataset",
+    "build_city_form477",
+]
+
+
+@dataclass(frozen=True)
+class CensusBlock:
+    """One census block: a 15-digit-style id plus a grid position."""
+
+    block_id: str
+    row: int
+    col: int
+    households: int
+
+    def __post_init__(self):
+        if self.households < 0:
+            raise ValueError("household count cannot be negative")
+
+
+@dataclass(frozen=True)
+class Form477Record:
+    """One ISP's deployment claim for one block (Form 477 row)."""
+
+    block_id: str
+    isp_name: str
+    max_download_mbps: float
+    max_upload_mbps: float
+
+
+class CensusGrid:
+    """A city's census blocks laid out on a rows x cols grid.
+
+    Household counts are drawn from a seeded lognormal so block sizes vary
+    realistically; the geometry is only used for coverage footprints.
+    """
+
+    def __init__(
+        self,
+        city: str,
+        rows: int = 24,
+        cols: int = 24,
+        seed: int = 0,
+        mean_households: float = 60.0,
+    ):
+        if rows < 1 or cols < 1:
+            raise ValueError("grid must have at least one block")
+        self.city = city
+        self.rows = rows
+        self.cols = cols
+        rng = np.random.default_rng(seed)
+        sigma = 0.6
+        mu = np.log(mean_households) - sigma**2 / 2
+        counts = rng.lognormal(mu, sigma, size=rows * cols).astype(int)
+        counts = np.maximum(counts, 1)
+        self.blocks: tuple[CensusBlock, ...] = tuple(
+            CensusBlock(
+                block_id=f"{city}{r:03d}{c:03d}",
+                row=r,
+                col=c,
+                households=int(counts[r * cols + c]),
+            )
+            for r in range(rows)
+            for c in range(cols)
+        )
+        self._by_id = {b.block_id: b for b in self.blocks}
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def block(self, block_id: str) -> CensusBlock:
+        try:
+            return self._by_id[block_id]
+        except KeyError:
+            raise KeyError(f"no block {block_id!r} in {self.city}") from None
+
+    @property
+    def total_households(self) -> int:
+        return sum(b.households for b in self.blocks)
+
+
+class Form477Dataset:
+    """Per-ISP coverage claims over a :class:`CensusGrid`.
+
+    Coverage is modelled as a rectangular footprint fraction per ISP: the
+    dominant cable ISP covers nearly the whole grid, competitors cover
+    sub-rectangles.  That is enough structure for the paper's
+    "pick the ISP covering the most blocks" step to be meaningful.
+    """
+
+    def __init__(self, grid: CensusGrid):
+        self.grid = grid
+        self._records: list[Form477Record] = []
+        self._covered: dict[str, set[str]] = {}
+
+    def add_isp_coverage(
+        self,
+        isp_name: str,
+        coverage_fraction: float,
+        max_download_mbps: float,
+        max_upload_mbps: float,
+        seed: int = 0,
+    ) -> int:
+        """Claim a contiguous footprint covering ``coverage_fraction`` rows.
+
+        Returns the number of blocks claimed.  An ISP can only be added
+        once per dataset.
+        """
+        if not 0.0 < coverage_fraction <= 1.0:
+            raise ValueError("coverage_fraction must be in (0, 1]")
+        if isp_name in self._covered:
+            raise ValueError(f"{isp_name} already has coverage records")
+        rng = np.random.default_rng(seed)
+        rows_covered = max(1, round(self.grid.rows * coverage_fraction))
+        start_row = int(rng.integers(0, self.grid.rows - rows_covered + 1))
+        claimed: set[str] = set()
+        for block in self.grid.blocks:
+            if start_row <= block.row < start_row + rows_covered:
+                self._records.append(
+                    Form477Record(
+                        block_id=block.block_id,
+                        isp_name=isp_name,
+                        max_download_mbps=max_download_mbps,
+                        max_upload_mbps=max_upload_mbps,
+                    )
+                )
+                claimed.add(block.block_id)
+        self._covered[isp_name] = claimed
+        return len(claimed)
+
+    @property
+    def records(self) -> tuple[Form477Record, ...]:
+        return tuple(self._records)
+
+    @property
+    def isp_names(self) -> tuple[str, ...]:
+        return tuple(self._covered)
+
+    def blocks_covered(self, isp_name: str) -> int:
+        """Number of blocks an ISP claims (0 for unknown ISPs)."""
+        return len(self._covered.get(isp_name, ()))
+
+    def dominant_isp(self) -> str:
+        """The ISP covering the most census blocks (Section 3.1).
+
+        Ties break lexicographically for determinism.
+        """
+        if not self._covered:
+            raise ValueError("no coverage records")
+        return min(
+            self._covered,
+            key=lambda isp: (-len(self._covered[isp]), isp),
+        )
+
+    def households_covered(self, isp_name: str) -> int:
+        return sum(
+            self.grid.block(block_id).households
+            for block_id in self._covered.get(isp_name, ())
+        )
+
+
+def build_city_form477(
+    city: str,
+    dominant_isp: str,
+    seed: int = 0,
+) -> Form477Dataset:
+    """Convenience builder: a grid with one dominant ISP plus competitors."""
+    grid = CensusGrid(city=city, seed=seed)
+    dataset = Form477Dataset(grid)
+    dataset.add_isp_coverage(
+        dominant_isp, 0.97, max_download_mbps=1200, max_upload_mbps=35,
+        seed=seed,
+    )
+    dataset.add_isp_coverage(
+        f"DSL-{city}", 0.55, max_download_mbps=100, max_upload_mbps=10,
+        seed=seed + 1,
+    )
+    dataset.add_isp_coverage(
+        f"Fiber-{city}", 0.30, max_download_mbps=940, max_upload_mbps=880,
+        seed=seed + 2,
+    )
+    return dataset

@@ -1,0 +1,118 @@
+"""IP geolocation error model.
+
+Section 3.4 of the paper justifies the ethics of using M-Lab data:
+"IP geolocation errors can exceed 30 KM, making it difficult to isolate
+specific users/homes", while Ookla's truncated GPS coordinates are
+"accurate to 111 metres".  This module models both localisation
+channels so the claim can be *measured*: given a census grid with a
+physical extent, how often does each channel attribute a test to the
+correct block?
+
+Used by the localisation analysis test/bench and available as a
+substrate for any extension that wants spatial attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.market.census import CensusBlock, CensusGrid
+
+__all__ = [
+    "GeolocationModel",
+    "GPS_TRUNCATION_ERROR_M",
+    "IP_GEOLOCATION_MEDIAN_ERROR_M",
+    "block_attribution_accuracy",
+]
+
+# Section 3.4: GPS coordinates truncated after three decimal points are
+# accurate to ~111 m; IP geolocation errors routinely reach tens of km.
+GPS_TRUNCATION_ERROR_M = 111.0
+IP_GEOLOCATION_MEDIAN_ERROR_M = 12_000.0
+
+
+@dataclass(frozen=True)
+class GeolocationModel:
+    """Samples localisation error for one channel.
+
+    ``median_error_m`` sets the scale; errors are lognormal around it
+    with multiplicative spread ``sigma`` and an isotropic direction.
+    """
+
+    median_error_m: float
+    sigma: float = 0.8
+
+    def __post_init__(self):
+        if self.median_error_m <= 0:
+            raise ValueError("median error must be positive")
+
+    @classmethod
+    def gps_truncated(cls) -> "GeolocationModel":
+        """Ookla's 3-decimal GPS truncation (~111 m)."""
+        return cls(median_error_m=GPS_TRUNCATION_ERROR_M, sigma=0.3)
+
+    @classmethod
+    def ip_geolocation(cls) -> "GeolocationModel":
+        """Commodity IP geolocation (median ~12 km, heavy tail)."""
+        return cls(median_error_m=IP_GEOLOCATION_MEDIAN_ERROR_M, sigma=0.8)
+
+    def sample_offsets_m(
+        self, n: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """(n, 2) array of (east, north) localisation offsets in metres."""
+        if n < 0:
+            raise ValueError("n cannot be negative")
+        radius = np.exp(
+            rng.normal(np.log(self.median_error_m), self.sigma, size=n)
+        )
+        angle = rng.uniform(0.0, 2.0 * np.pi, size=n)
+        return np.column_stack(
+            [radius * np.cos(angle), radius * np.sin(angle)]
+        )
+
+
+def _block_center_m(
+    block: CensusBlock, block_size_m: float
+) -> tuple[float, float]:
+    return (
+        (block.col + 0.5) * block_size_m,
+        (block.row + 0.5) * block_size_m,
+    )
+
+
+def block_attribution_accuracy(
+    grid: CensusGrid,
+    model: GeolocationModel,
+    tests_per_block: int = 5,
+    block_size_m: float = 250.0,
+    seed: int = 0,
+) -> float:
+    """Fraction of localised tests attributed to the correct block.
+
+    Simulates ``tests_per_block`` measurements at each block's centre,
+    perturbs them with the channel's error model, snaps each back to
+    the containing block, and scores the match.  With GPS truncation
+    most tests stay in their ~250 m block; with IP geolocation almost
+    none do -- the paper's ethics argument, quantified.
+    """
+    if tests_per_block < 1:
+        raise ValueError("tests_per_block must be positive")
+    if block_size_m <= 0:
+        raise ValueError("block size must be positive")
+    rng = np.random.default_rng(seed)
+    correct = 0
+    total = 0
+    for block in grid.blocks:
+        center_x, center_y = _block_center_m(block, block_size_m)
+        offsets = model.sample_offsets_m(tests_per_block, rng)
+        xs = center_x + offsets[:, 0]
+        ys = center_y + offsets[:, 1]
+        cols = np.floor(xs / block_size_m).astype(int)
+        rows = np.floor(ys / block_size_m).astype(int)
+        correct += int(
+            np.sum((cols == block.col) & (rows == block.row))
+        )
+        total += tests_per_block
+    return correct / total

@@ -1,0 +1,125 @@
+"""The four city/ISP plan menus used in the paper.
+
+City-A's menu is given explicitly in Section 4.1: six plans, three at a
+shared 5 Mbps upload (25, 100, 200 Mbps down) and three faster downloads
+(400, 800, 1200) at 10, 15 and 35 Mbps upload.  Cities B-D are described
+only through their upload groups (Tables 5-7) and the appendix density
+figures; the download menus chosen here are model parameters consistent
+with those tables (see DESIGN.md Section 6).
+
+States A-D (the MBA panels) use the same menus as their city's ISP; the
+State-A panel drops Tier 1 because "there are no records of the 25 Mbps
+download (5 Mbps upload) subscription plan in the MBA-State-A dataset"
+(Section 4.3).
+"""
+
+from __future__ import annotations
+
+from repro.market.plans import Plan, PlanCatalog
+
+__all__ = [
+    "CITY_IDS",
+    "city_catalog",
+    "state_catalog",
+    "all_city_catalogs",
+    "catalog_from_menu",
+]
+
+CITY_IDS = ("A", "B", "C", "D")
+
+# City-A / ISP-A: verbatim from Section 4.1.
+_CITY_A_PLANS = [
+    Plan(25, 5, tier=1),
+    Plan(100, 5, tier=2),
+    Plan(200, 5, tier=3),
+    Plan(400, 10, tier=4),
+    Plan(800, 15, tier=5),
+    Plan(1200, 35, tier=6),
+]
+
+# City-B / ISP-B: Table 5 groups tiers as 1-2 (upload ~5.5), 3 (~11.5),
+# 4-5 (~22) and 6 (~39); Figure 16 shows two download plans below
+# ~150 Mbps, one near 300, two between 400-800, and one gigabit plan.
+_CITY_B_PLANS = [
+    Plan(50, 5.5, tier=1),
+    Plan(100, 5.5, tier=2),
+    Plan(300, 11.5, tier=3),
+    Plan(500, 22, tier=4),
+    Plan(600, 22, tier=5),
+    Plan(1200, 39, tier=6),
+]
+
+# City-C / ISP-C: Table 6 groups tiers 1-3 (~5), 4-5 (~11.5), 6-7 (~22)
+# and 8 (~38.5); Figure 17 shows three low-download plans, two mid, two
+# high, one gigabit.
+_CITY_C_PLANS = [
+    Plan(25, 5, tier=1),
+    Plan(75, 5, tier=2),
+    Plan(100, 5, tier=3),
+    Plan(200, 11.5, tier=4),
+    Plan(300, 11.5, tier=5),
+    Plan(500, 22, tier=6),
+    Plan(800, 22, tier=7),
+    Plan(1200, 38.5, tier=8),
+]
+
+# City-D / ISP-D: Table 7 groups tiers 1-2 (~3.5), 3-4 (~9.7) and 5 (~28.7);
+# Figure 18 shows two plans below 100 Mbps, two in 100-400, one near gigabit.
+_CITY_D_PLANS = [
+    Plan(50, 3.5, tier=1),
+    Plan(100, 3.5, tier=2),
+    Plan(200, 10, tier=3),
+    Plan(400, 10, tier=4),
+    Plan(940, 30, tier=5),
+]
+
+_CITY_MENUS = {
+    "A": ("ISP-A", _CITY_A_PLANS),
+    "B": ("ISP-B", _CITY_B_PLANS),
+    "C": ("ISP-C", _CITY_C_PLANS),
+    "D": ("ISP-D", _CITY_D_PLANS),
+}
+
+# Tiers observed in each state's MBA panel.  State-A drops tier 1
+# (Section 4.3); the other panels observe every tier.
+_STATE_TIER_RESTRICTIONS: dict[str, tuple[int, ...] | None] = {
+    "A": (2, 3, 4, 5, 6),
+    "B": None,
+    "C": None,
+    "D": None,
+}
+
+
+def city_catalog(city: str) -> PlanCatalog:
+    """Plan catalog of the dominant residential ISP in ``city`` (A-D)."""
+    try:
+        isp_name, plans = _CITY_MENUS[city.upper()]
+    except KeyError:
+        raise KeyError(f"unknown city {city!r}; expected one of {CITY_IDS}") from None
+    return PlanCatalog(isp_name, plans)
+
+
+def state_catalog(state: str) -> PlanCatalog:
+    """Plan catalog observed in the MBA panel of ``state`` (A-D)."""
+    catalog = city_catalog(state)
+    restriction = _STATE_TIER_RESTRICTIONS[state.upper()]
+    if restriction is None:
+        return catalog
+    return catalog.restrict_to_tiers(restriction)
+
+
+def all_city_catalogs() -> dict[str, PlanCatalog]:
+    """All four city catalogs, keyed by city id."""
+    return {city: city_catalog(city) for city in CITY_IDS}
+
+
+def catalog_from_menu(isp_name: str, menu) -> PlanCatalog:
+    """Build a catalog from a ``[(download, upload), ...]`` menu.
+
+    The entry point for applying BST to an ISP outside the four studied
+    cities: collect the plan menu (e.g. with the query tool against the
+    real ISP) and hand it here.  Tiers are numbered by ascending
+    download speed.
+    """
+    plans = [Plan(down, up) for down, up in menu]
+    return PlanCatalog(isp_name, plans)

@@ -1,0 +1,110 @@
+"""Per-address ISP plan-availability queries (the tool of Major et al.).
+
+Section 4.1: the authors "augment the tool proposed in [42] to collect
+available download/upload speed plans for major residential ISPs at
+specific U.S. street addresses", rate-limiting queries "to prevent
+overloading ISP infrastructure".  This module simulates that tool against
+the market model: querying an address returns the ISP's plan menu at that
+address, and a query budget enforces the rate-limiting discipline.
+
+The key empirical observation the tool surfaces -- "the plan choices remain
+unchanged across different street addresses within a city" -- is a property
+of the market model here, and :func:`discover_city_menu` *rediscovers* it
+the way the paper does, by querying a sample of addresses and comparing
+menus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.market.addresses import Address, AddressDataset
+from repro.market.plans import Plan, PlanCatalog
+
+__all__ = ["PlanQueryTool", "QueryBudgetExceeded", "discover_city_menu"]
+
+
+class QueryBudgetExceeded(RuntimeError):
+    """Raised when more queries are issued than the configured budget."""
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The plan menu an ISP reports as available at one address."""
+
+    address: Address
+    isp_name: str
+    plans: tuple[Plan, ...]
+
+
+class PlanQueryTool:
+    """Query the plans an ISP offers at a street address.
+
+    Parameters
+    ----------
+    catalog:
+        The ground-truth city menu.  Real ISPs serve the same tiered menu
+        across a city (the paper's first observation), so the tool answers
+        every in-city address with the catalog's plans.
+    query_budget:
+        Maximum number of queries this tool instance may issue, modelling
+        the paper's care "to prevent overloading ISP infrastructure".
+    """
+
+    def __init__(self, catalog: PlanCatalog, query_budget: int = 100_000):
+        if query_budget < 1:
+            raise ValueError("query budget must be positive")
+        self.catalog = catalog
+        self.query_budget = query_budget
+        self.queries_issued = 0
+
+    @property
+    def queries_remaining(self) -> int:
+        return self.query_budget - self.queries_issued
+
+    def query(self, address: Address) -> QueryResult:
+        """Return the ISP's advertised menu at ``address``.
+
+        Raises :class:`QueryBudgetExceeded` past the budget.
+        """
+        if self.queries_issued >= self.query_budget:
+            raise QueryBudgetExceeded(
+                f"budget of {self.query_budget} queries exhausted"
+            )
+        self.queries_issued += 1
+        return QueryResult(
+            address=address,
+            isp_name=self.catalog.isp_name,
+            plans=self.catalog.plans,
+        )
+
+
+def discover_city_menu(
+    tool: PlanQueryTool,
+    addresses: AddressDataset,
+    sample_size: int = 1000,
+    seed: int = 0,
+) -> PlanCatalog:
+    """Rediscover a city's plan menu by querying sampled addresses.
+
+    Mirrors Section 4.1: sample residential addresses, query each, and
+    verify the menus agree.  Returns the discovered catalog; raises
+    ``ValueError`` if menus differ across addresses (which would invalidate
+    the paper's city-wide-menu assumption).
+    """
+    sampled = addresses.sample(sample_size, seed=seed)
+    if not sampled:
+        raise ValueError("no addresses available to query")
+    menus = set()
+    isp_name = None
+    for address in sampled:
+        result = tool.query(address)
+        menus.add(result.plans)
+        isp_name = result.isp_name
+    if len(menus) != 1:
+        raise ValueError(
+            f"plan menus differ across {len(menus)} address groups; "
+            "cannot form a single city catalog"
+        )
+    assert isp_name is not None
+    return PlanCatalog(isp_name, list(menus.pop()))

@@ -1,0 +1,53 @@
+"""Network path simulator: the physics under every simulated speed test.
+
+The paper measures how plan shaping, home WiFi (band, RSSI), device memory,
+time of day, and the test's own TCP methodology (single vs multiple flows)
+shape reported speeds.  This subpackage models each of those mechanisms:
+
+- :mod:`repro.netsim.tcp` -- per-flow TCP throughput (Mathis model +
+  receive-window limit) and the fixed-duration saturation shortfall that
+  makes gigabit plans measure below their advertised rate.
+- :mod:`repro.netsim.wifi` -- PHY rate vs band and RSSI, MAC efficiency,
+  and per-test contention.
+- :mod:`repro.netsim.device` -- kernel-memory throughput ceiling.
+- :mod:`repro.netsim.access` -- ISP plan shaping with over-provisioning and
+  a marginal time-of-day congestion factor.
+- :mod:`repro.netsim.latency` -- RTT and loss sampling.
+- :mod:`repro.netsim.path` -- end-to-end composition used by the vendor
+  simulators.
+"""
+
+from repro.netsim.tcp import (
+    mathis_throughput_mbps,
+    window_limited_throughput_mbps,
+    flow_throughput_mbps,
+    multi_flow_throughput_mbps,
+    saturation_efficiency,
+)
+from repro.netsim.wifi import (
+    wifi_phy_rate_mbps,
+    wifi_mac_efficiency,
+    wifi_throughput_cap_mbps,
+)
+from repro.netsim.device import device_memory_cap_mbps
+from repro.netsim.access import AccessLink, timeofday_factor
+from repro.netsim.latency import LatencyModel
+from repro.netsim.path import PathSimulator, TestConditions, FlowProfile
+
+__all__ = [
+    "mathis_throughput_mbps",
+    "window_limited_throughput_mbps",
+    "flow_throughput_mbps",
+    "multi_flow_throughput_mbps",
+    "saturation_efficiency",
+    "wifi_phy_rate_mbps",
+    "wifi_mac_efficiency",
+    "wifi_throughput_cap_mbps",
+    "device_memory_cap_mbps",
+    "AccessLink",
+    "timeofday_factor",
+    "LatencyModel",
+    "PathSimulator",
+    "TestConditions",
+    "FlowProfile",
+]

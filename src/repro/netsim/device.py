@@ -1,0 +1,48 @@
+"""Device model: kernel-memory throughput ceiling.
+
+Figure 9d of the paper shows speed tests from Android devices with little
+available kernel memory fall far short of their plan: the median
+normalised download speed is 0.16 with < 2 GB free versus 0.53 with
+> 6 GB.  Mechanistically, a memory-squeezed kernel shrinks TCP
+receive-buffer autotuning budgets (and the app competes for pages), so
+the achievable window -- and thus ``window / RTT`` -- drops.
+
+The model maps available memory to a throughput ceiling via a smooth
+power law calibrated so the Figure 9d bins come out: devices below 2 GB
+are sharply capped while devices above ~4 GB are effectively uncapped
+relative to residential plan rates.
+"""
+
+from __future__ import annotations
+
+__all__ = ["device_memory_cap_mbps", "memory_bin_label"]
+
+
+def device_memory_cap_mbps(
+    memory_gb: float,
+    coefficient: float = 70.0,
+    exponent: float = 1.35,
+) -> float:
+    """Throughput ceiling (Mbps) imposed by available kernel memory.
+
+    ``cap = coefficient * memory_gb ** exponent``; with the defaults a
+    1 GB device caps near 70 Mbps, a 4 GB device near 450 Mbps, and an
+    8 GB device above 1.1 Gbps (effectively uncapped for the plans
+    studied).
+    """
+    if memory_gb <= 0:
+        raise ValueError("available memory must be positive")
+    return coefficient * memory_gb**exponent
+
+
+def memory_bin_label(memory_gb: float) -> str:
+    """The Figure 9d bin a memory value falls into."""
+    if memory_gb <= 0:
+        raise ValueError("available memory must be positive")
+    if memory_gb < 2.0:
+        return "< 2 GB"
+    if memory_gb < 4.0:
+        return "2 GB - 4 GB"
+    if memory_gb < 6.0:
+        return "4 GB - 6 GB"
+    return "> 6 GB"

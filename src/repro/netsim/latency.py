@@ -1,0 +1,74 @@
+"""RTT and loss sampling for simulated speed tests.
+
+Speed test vendors route clients to nearby servers (Ookla has >16k,
+M-Lab >500 -- Section 3), so base RTTs are short but variable.  The WiFi
+hop adds both delay and loss; both feed the Mathis term of the TCP model,
+which is what separates single-flow NDT from multi-flow Ookla results at
+higher tiers (Section 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["LatencyModel"]
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Samples per-test RTT (ms) and packet loss probability.
+
+    Parameters are log-space: RTT is lognormal around ``median_rtt_ms``
+    with multiplicative spread ``rtt_sigma``; loss is lognormal around
+    ``median_loss``.  WiFi adds a fixed extra delay range plus extra loss.
+    """
+
+    median_rtt_ms: float = 12.0
+    rtt_sigma: float = 0.35
+    median_loss: float = 1.2e-5
+    loss_sigma: float = 0.9
+    wifi_extra_rtt_range_ms: tuple[float, float] = (2.0, 10.0)
+    # The crowded 2.4 GHz channel queues longer (cf. Sui et al. [45]).
+    wifi_24ghz_extra_rtt_range_ms: tuple[float, float] = (4.0, 18.0)
+    wifi_extra_loss: float = 2e-5
+
+    def __post_init__(self):
+        if self.median_rtt_ms <= 0:
+            raise ValueError("median RTT must be positive")
+        if not 0 < self.median_loss < 1:
+            raise ValueError("median loss must be in (0, 1)")
+
+    def sample_rtt_ms(
+        self,
+        rng: np.random.Generator,
+        on_wifi: bool = False,
+        band_ghz: float | None = None,
+    ) -> float:
+        """One test's RTT to the chosen measurement server.
+
+        ``band_ghz`` selects the WiFi extra-delay range (2.4 GHz queues
+        longer); it is ignored for wired tests.
+        """
+        rtt = float(
+            np.exp(rng.normal(np.log(self.median_rtt_ms), self.rtt_sigma))
+        )
+        if on_wifi:
+            if band_ghz == 2.4:
+                lo, hi = self.wifi_24ghz_extra_rtt_range_ms
+            else:
+                lo, hi = self.wifi_extra_rtt_range_ms
+            rtt += float(rng.uniform(lo, hi))
+        return max(rtt, 1.0)
+
+    def sample_loss(
+        self, rng: np.random.Generator, on_wifi: bool = False
+    ) -> float:
+        """One test's path loss probability."""
+        loss = float(
+            np.exp(rng.normal(np.log(self.median_loss), self.loss_sigma))
+        )
+        if on_wifi:
+            loss += float(rng.uniform(0.0, self.wifi_extra_loss))
+        return float(min(max(loss, 1e-7), 0.05))

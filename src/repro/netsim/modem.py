@@ -1,0 +1,102 @@
+"""Cable modem model: DOCSIS channel bonding as a throughput ceiling.
+
+The paper's recommendations note that "the make and model of the cable
+modem ... are likely also essential" context but leave them out of
+scope (Section 8).  This module implements that extension: a DOCSIS
+modem bonds a number of downstream/upstream channels, and an older
+modem on a premium plan becomes the hidden bottleneck -- a DOCSIS 3.0
+8x4 device tops out near 343 Mbps and silently caps a 1.2 Gbps tier.
+
+:class:`ModemProfile` provides the standard generations;
+``PathSimulator`` accepts an optional per-household modem sampler so
+the effect can be switched on for the ablation benchmark without
+disturbing the calibrated defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ModemProfile",
+    "DOCSIS_30_8x4",
+    "DOCSIS_30_16x4",
+    "DOCSIS_30_32x8",
+    "DOCSIS_31",
+    "MODEM_GENERATIONS",
+    "sample_modem",
+]
+
+# Per-channel data rates: DOCSIS 3.0 SC-QAM downstream ~42.88 Mbps
+# (256-QAM, 6 MHz), upstream ~30.72 Mbps (64-QAM, 6.4 MHz); DOCSIS 3.1
+# OFDM raises the aggregate dramatically.
+_DOWNSTREAM_PER_CHANNEL = 42.88
+_UPSTREAM_PER_CHANNEL = 30.72
+
+
+@dataclass(frozen=True)
+class ModemProfile:
+    """One modem generation: bonded channels and the resulting ceilings."""
+
+    name: str
+    downstream_channels: int
+    upstream_channels: int
+    ofdm: bool = False  # DOCSIS 3.1 OFDM block present
+
+    def __post_init__(self):
+        if self.downstream_channels < 1 or self.upstream_channels < 1:
+            raise ValueError("a modem bonds at least one channel each way")
+
+    @property
+    def max_download_mbps(self) -> float:
+        base = self.downstream_channels * _DOWNSTREAM_PER_CHANNEL
+        if self.ofdm:
+            # One 96 MHz OFDM block at mid-split carries ~1.9 Gbps on
+            # its own; 2.5 Gbps is a typical 3.1 device ceiling.
+            return max(base, 2500.0)
+        return base
+
+    @property
+    def max_upload_mbps(self) -> float:
+        base = self.upstream_channels * _UPSTREAM_PER_CHANNEL
+        if self.ofdm:
+            return max(base, 800.0)
+        return base
+
+    def caps_plan(self, plan_download_mbps: float) -> bool:
+        """Whether this modem bottlenecks a plan's downstream rate."""
+        return self.max_download_mbps < plan_download_mbps
+
+
+DOCSIS_30_8x4 = ModemProfile("DOCSIS 3.0 8x4", 8, 4)
+DOCSIS_30_16x4 = ModemProfile("DOCSIS 3.0 16x4", 16, 4)
+DOCSIS_30_32x8 = ModemProfile("DOCSIS 3.0 32x8", 32, 8)
+DOCSIS_31 = ModemProfile("DOCSIS 3.1", 32, 8, ofdm=True)
+
+MODEM_GENERATIONS: tuple[ModemProfile, ...] = (
+    DOCSIS_30_8x4,
+    DOCSIS_30_16x4,
+    DOCSIS_30_32x8,
+    DOCSIS_31,
+)
+
+# Installed-base mix: a visible tail of households still runs old
+# CPE (self-purchased modems age in place).
+_DEFAULT_MIX = (0.10, 0.20, 0.35, 0.35)
+
+
+def sample_modem(
+    rng: np.random.Generator,
+    mix: tuple[float, ...] = _DEFAULT_MIX,
+) -> ModemProfile:
+    """Draw a modem generation from the installed-base mix."""
+    if len(mix) != len(MODEM_GENERATIONS):
+        raise ValueError(
+            f"mix needs {len(MODEM_GENERATIONS)} entries, got {len(mix)}"
+        )
+    if abs(sum(mix) - 1.0) > 1e-9:
+        raise ValueError("mix must sum to 1")
+    index = int(rng.choice(len(MODEM_GENERATIONS), p=np.asarray(mix)))
+    return MODEM_GENERATIONS[index]

@@ -1,0 +1,80 @@
+"""Measurement server pools: how far away is the nearest test server?
+
+Section 3 notes the asymmetry: Ookla operates "over 16k measurement
+servers worldwide" while M-Lab has "over 500 well-provisioned servers".
+Denser pools put a server closer to the client, shortening the base
+RTT -- and since a single-flow test's throughput scales with 1/RTT
+(the Mathis term), server density is itself part of the methodology
+gap the paper measures in Section 6.3.
+
+The model: servers are spread over a service region; the distance to
+the nearest of ``n`` uniformly scattered servers scales like
+``region_radius / sqrt(n)``, and RTT adds propagation (~1 ms per
+100 km, times a routing-inefficiency factor) to a fixed metro access
+delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ServerPool", "OOKLA_POOL", "MLAB_POOL"]
+
+# Effective service region (contiguous-US-scale) and routing constants.
+_REGION_RADIUS_KM = 2400.0
+_PROPAGATION_MS_PER_100KM = 1.0
+_ROUTING_INEFFICIENCY = 1.8  # paths are not great circles
+_ACCESS_DELAY_MS = 8.0  # DOCSIS access + home segment floor
+
+
+@dataclass(frozen=True)
+class ServerPool:
+    """One vendor's measurement server deployment."""
+
+    name: str
+    n_servers: int
+
+    def __post_init__(self):
+        if self.n_servers < 1:
+            raise ValueError("a pool needs at least one server")
+
+    @property
+    def typical_distance_km(self) -> float:
+        """Expected distance to the nearest server.
+
+        For ``n`` uniform points in a disc of radius ``R``, the mean
+        nearest-neighbour distance from a random client is
+        ``R / (2 sqrt(n))``.
+        """
+        return _REGION_RADIUS_KM / (2.0 * np.sqrt(self.n_servers))
+
+    def sample_distance_km(
+        self, rng: np.random.Generator, n: int = 1
+    ) -> np.ndarray:
+        """Per-test distances to the chosen server (Rayleigh-ish)."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        scale = self.typical_distance_km / np.sqrt(np.pi / 2.0)
+        return rng.rayleigh(scale, size=n)
+
+    def median_rtt_ms(self) -> float:
+        """Median RTT implied by the pool's density."""
+        distance = self.typical_distance_km
+        propagation = (
+            distance / 100.0 * _PROPAGATION_MS_PER_100KM
+            * _ROUTING_INEFFICIENCY
+        )
+        return _ACCESS_DELAY_MS + 2.0 * propagation  # round trip
+
+    def latency_model_kwargs(self) -> dict:
+        """Keyword overrides for :class:`~repro.netsim.latency
+        .LatencyModel` reflecting this pool's density."""
+        return {"median_rtt_ms": self.median_rtt_ms()}
+
+
+# Section 3: the two studied vendors' deployments (US-scale share of
+# the global counts).
+OOKLA_POOL = ServerPool(name="ookla", n_servers=2500)
+MLAB_POOL = ServerPool(name="mlab", n_servers=130)

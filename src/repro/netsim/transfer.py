@@ -1,0 +1,184 @@
+"""Time-stepped speed test transfer simulation.
+
+The scalar path model (:mod:`repro.netsim.path`) folds the dynamics of a
+10-15 second TCP transfer into two factors: a fixed-duration saturation
+efficiency and a per-vendor methodology efficiency.  This module
+implements the dynamics themselves -- a fluid model of parallel TCP
+flows in slow start and congestion avoidance over a fixed-capacity
+bottleneck -- so those factors can be *derived* and the design choice
+validated (see the ``ablation-transfer`` experiment).
+
+Mechanics per time step (one RTT):
+
+- each flow grows its window: doubling in slow start until the first
+  loss or until the bottleneck saturates, then +1 MSS per RTT;
+- aggregate demand above the bottleneck capacity is clipped (and the
+  overflowing flows multiplicatively back off, beta = 0.7, roughly
+  CUBIC-like);
+- random loss proportional to ``loss_rate`` also triggers back-off.
+
+A test reports the mean throughput over its measurement window; vendors
+differ in whether the slow-start ramp is included (NDT) or discarded
+(Ookla-style tests drop the warm-up interval).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "TransferResult",
+    "simulate_transfer",
+    "derived_methodology_efficiency",
+]
+
+_MSS_BITS = 1460 * 8
+_BETA = 0.7  # multiplicative back-off factor
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of one simulated transfer.
+
+    ``samples_mbps`` holds the per-RTT aggregate throughput series;
+    ``reported_mbps`` is the vendor-visible number (mean over the
+    measurement window); ``ramp_seconds`` is how long the transfer took
+    to first reach 95% of its steady rate.
+    """
+
+    samples_mbps: np.ndarray
+    reported_mbps: float
+    ramp_seconds: float
+    duration_s: float
+
+
+def simulate_transfer(
+    capacity_mbps: float,
+    rtt_ms: float,
+    loss_rate: float,
+    n_flows: int = 1,
+    duration_s: float = 10.0,
+    discard_ramp: bool = False,
+    initial_window_packets: float = 10.0,
+    seed: int | None = 0,
+) -> TransferResult:
+    """Simulate a fixed-duration test transfer and its reported speed.
+
+    Parameters
+    ----------
+    capacity_mbps:
+        Bottleneck capacity shared by the flows.
+    rtt_ms, loss_rate:
+        Path round-trip time and random loss probability per packet.
+    n_flows:
+        Parallel TCP connections (1 for NDT, several for Ookla).
+    duration_s:
+        Test length.
+    discard_ramp:
+        Drop the warm-up portion (the first 25% of samples or until the
+        aggregate first reaches 90% of its eventual median, whichever is
+        shorter) before averaging -- the Ookla-style measurement.
+    """
+    if capacity_mbps <= 0:
+        raise ValueError("capacity must be positive")
+    if rtt_ms <= 0:
+        raise ValueError("RTT must be positive")
+    if not 0 <= loss_rate < 1:
+        raise ValueError("loss rate must be in [0, 1)")
+    if n_flows < 1:
+        raise ValueError("need at least one flow")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+
+    rng = np.random.default_rng(seed)
+    step_s = rtt_ms / 1000.0
+    n_steps = max(int(duration_s / step_s), 2)
+    windows = np.full(n_flows, initial_window_packets)  # packets
+    in_slow_start = np.ones(n_flows, dtype=bool)
+    samples = np.empty(n_steps)
+    packet_rate_capacity = capacity_mbps * 1e6 / _MSS_BITS  # pkts/s
+
+    for step in range(n_steps):
+        demand_pps = windows / step_s  # packets/s if unclipped
+        total_demand = demand_pps.sum()
+        utilisation = min(total_demand / packet_rate_capacity, 1.0)
+        achieved_pps = (
+            demand_pps
+            if total_demand <= packet_rate_capacity
+            else demand_pps * packet_rate_capacity / total_demand
+        )
+        samples[step] = achieved_pps.sum() * _MSS_BITS / 1e6
+
+        # Loss events: random loss plus congestion loss when saturated.
+        packets_sent = achieved_pps * step_s
+        loss_prob = 1.0 - np.power(
+            1.0 - loss_rate, np.maximum(packets_sent, 0.0)
+        )
+        congested = total_demand > packet_rate_capacity
+        lost = rng.random(n_flows) < loss_prob
+        if congested:
+            # The most aggressive flows overflow the buffer.
+            overflow = rng.random(n_flows) < 0.5 * utilisation
+            lost |= overflow
+
+        grew = ~lost
+        windows = np.where(
+            lost,
+            np.maximum(windows * _BETA, 1.0),
+            np.where(in_slow_start, windows * 2.0, windows + 1.0),
+        )
+        in_slow_start &= grew & (total_demand <= packet_rate_capacity)
+
+    if discard_ramp:
+        steady = float(np.median(samples[n_steps // 2 :]))
+        above = np.flatnonzero(samples >= 0.9 * steady)
+        start = int(above[0]) if above.size else n_steps // 4
+        start = min(start, n_steps // 4)
+        reported = float(np.mean(samples[start:]))
+    else:
+        reported = float(np.mean(samples))
+
+    steady = float(np.median(samples[n_steps // 2 :]))
+    reach = np.flatnonzero(samples >= 0.95 * steady)
+    ramp_steps = int(reach[0]) if reach.size else n_steps
+    return TransferResult(
+        samples_mbps=samples,
+        reported_mbps=reported,
+        ramp_seconds=ramp_steps * step_s,
+        duration_s=duration_s,
+    )
+
+
+def derived_methodology_efficiency(
+    capacity_mbps: float,
+    rtt_ms: float = 15.0,
+    loss_rate: float = 1.2e-5,
+    n_flows: int = 1,
+    duration_s: float = 10.0,
+    discard_ramp: bool = False,
+    n_runs: int = 5,
+    seed: int = 0,
+) -> float:
+    """Mean reported/capacity ratio over several simulated transfers.
+
+    This is the dynamic-model counterpart of the scalar
+    ``saturation_efficiency x methodology_efficiency`` product used by
+    :mod:`repro.netsim.path`; the ablation experiment compares the two.
+    """
+    if n_runs < 1:
+        raise ValueError("n_runs must be positive")
+    ratios = []
+    for i in range(n_runs):
+        result = simulate_transfer(
+            capacity_mbps,
+            rtt_ms,
+            loss_rate,
+            n_flows=n_flows,
+            duration_s=duration_s,
+            discard_ramp=discard_ramp,
+            seed=seed + i,
+        )
+        ratios.append(result.reported_mbps / capacity_mbps)
+    return float(np.mean(ratios))

@@ -1,0 +1,91 @@
+"""Analysis pipeline: contextualise measurements and diagnose performance.
+
+The modules here implement Sections 5 and 6 of the paper:
+
+- :mod:`repro.pipeline.ndt_join` -- associate NDT upload records with
+  download records via the 120-second same-client/server window
+  (Section 3.2).
+- :mod:`repro.pipeline.contextualize` -- run BST over a measurement table
+  and attach tier, plan speeds, and normalised speeds (Section 5.1).
+- :mod:`repro.pipeline.diagnosis` -- the local-factor analyses: access
+  type, WiFi band, RSSI, kernel memory, Best vs Local-bottleneck
+  (Section 6.1).
+- :mod:`repro.pipeline.timeofday` -- test share and performance by 6-hour
+  bin (Section 6.2).
+- :mod:`repro.pipeline.vendor_compare` -- Ookla vs M-Lab per tier
+  (Section 6.3).
+- :mod:`repro.pipeline.report` -- text rendering of tables and CDF series.
+"""
+
+from repro.pipeline.contextualize import contextualize, ContextualizedDataset
+from repro.pipeline.ndt_join import join_ndt_tests
+from repro.pipeline.diagnosis import (
+    GroupComparison,
+    access_type_comparison,
+    wifi_band_comparison,
+    rssi_comparison,
+    memory_comparison,
+    bottleneck_comparison,
+    rssi_bin_label,
+)
+from repro.pipeline.timeofday import (
+    time_bin_label,
+    TIME_BINS,
+    test_share_by_bin,
+    normalized_speed_by_bin,
+)
+from repro.pipeline.vendor_compare import compare_vendors, VendorComparison
+from repro.pipeline.report import format_table, cdf_series, render_comparison
+from repro.pipeline.metadata import (
+    CONTEXT_FIELDS,
+    MetadataAudit,
+    audit_metadata,
+    recommend,
+)
+from repro.pipeline.challenge import (
+    ChallengeConfig,
+    ChallengeSummary,
+    classify_tests,
+)
+from repro.pipeline.debias import (
+    TierWeights,
+    debiased_summary,
+    reweight_by_tier,
+    weighted_median,
+)
+from repro.pipeline.qos import latency_by_access, latency_by_band
+
+__all__ = [
+    "contextualize",
+    "ContextualizedDataset",
+    "join_ndt_tests",
+    "GroupComparison",
+    "access_type_comparison",
+    "wifi_band_comparison",
+    "rssi_comparison",
+    "memory_comparison",
+    "bottleneck_comparison",
+    "rssi_bin_label",
+    "time_bin_label",
+    "TIME_BINS",
+    "test_share_by_bin",
+    "normalized_speed_by_bin",
+    "compare_vendors",
+    "VendorComparison",
+    "format_table",
+    "cdf_series",
+    "render_comparison",
+    "CONTEXT_FIELDS",
+    "MetadataAudit",
+    "audit_metadata",
+    "recommend",
+    "ChallengeConfig",
+    "ChallengeSummary",
+    "classify_tests",
+    "TierWeights",
+    "debiased_summary",
+    "reweight_by_tier",
+    "weighted_median",
+    "latency_by_access",
+    "latency_by_band",
+]

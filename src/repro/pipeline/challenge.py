@@ -1,0 +1,140 @@
+"""Challenge-process triage: classify every contextualised test.
+
+The FCC's challenge process (Section 1) lets consumers contest provider
+coverage claims with speed test evidence.  The paper's central argument
+is that raw slow tests are weak evidence: the slowness may be the plan,
+the home WiFi, or the device.  This module classifies each
+contextualised measurement into one of four categories so only genuine
+access-network under-performance backs a challenge:
+
+- ``meets-plan`` -- performing to the subscribed plan, and not slow in
+  absolute terms.
+- ``plan-limited`` -- slow in absolute terms (below the broadband
+  floor) yet performing to the subscribed plan: the *plan* is slow,
+  not the network (not challenge evidence).
+- ``local-bottleneck`` -- under-performing the plan with an
+  identifiable local cause (2.4 GHz band, weak RSSI, low device
+  memory).
+- ``challenge-worthy`` -- under-performing the plan with no local
+  explanation in the metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame import ColumnTable
+
+__all__ = ["ChallengeConfig", "ChallengeSummary", "classify_tests"]
+
+CATEGORIES = (
+    "meets-plan",
+    "plan-limited",
+    "local-bottleneck",
+    "challenge-worthy",
+)
+
+
+@dataclass(frozen=True)
+class ChallengeConfig:
+    """Thresholds of the triage.
+
+    ``underperformance_ratio`` is the normalised-download floor below
+    which a test counts as under-performing its plan;
+    ``slow_threshold_mbps`` is the absolute broadband floor (the
+    classic FCC 25 Mbps definition).  The local-cause thresholds mirror
+    the Section 6.1 bins.
+    """
+
+    underperformance_ratio: float = 0.5
+    slow_threshold_mbps: float = 25.0
+    weak_rssi_dbm: float = -70.0
+    low_memory_gb: float = 2.0
+    slow_band_ghz: float = 2.4
+
+    def __post_init__(self):
+        if not 0 < self.underperformance_ratio <= 1:
+            raise ValueError("underperformance_ratio must be in (0, 1]")
+        if self.slow_threshold_mbps <= 0:
+            raise ValueError("slow_threshold_mbps must be positive")
+
+
+@dataclass(frozen=True)
+class ChallengeSummary:
+    """Outcome of :func:`classify_tests`."""
+
+    table: ColumnTable  # input plus a `challenge_category` column
+    counts: dict[str, int]
+
+    @property
+    def n_tests(self) -> int:
+        return len(self.table)
+
+    def share(self, category: str) -> float:
+        if category not in CATEGORIES:
+            raise KeyError(f"unknown category {category!r}")
+        if self.n_tests == 0:
+            return float("nan")
+        return self.counts.get(category, 0) / self.n_tests
+
+    def challenge_rows(self) -> ColumnTable:
+        """Only the challenge-worthy tests (the evidence set)."""
+        return self.table.filter(
+            self.table["challenge_category"] == "challenge-worthy"
+        )
+
+
+def classify_tests(
+    table: ColumnTable,
+    config: ChallengeConfig | None = None,
+) -> ChallengeSummary:
+    """Classify every row of a contextualised table.
+
+    Requires the ``normalized_download`` context column; uses the
+    Android metadata columns (band, RSSI, memory) when present to
+    identify local causes, treating missing metadata as "no local
+    explanation visible" -- exactly the ambiguity the paper's
+    recommendations aim to remove.
+    """
+    config = config or ChallengeConfig()
+    if "normalized_download" not in table:
+        raise KeyError(
+            "classify_tests needs a contextualised table "
+            "(run repro.pipeline.contextualize first)"
+        )
+    if "download_mbps" not in table:
+        raise KeyError("classify_tests needs a download_mbps column")
+    n = len(table)
+    normalized = np.asarray(table["normalized_download"], dtype=float)
+    downloads = np.asarray(table["download_mbps"], dtype=float)
+
+    def column_or_nan(name: str) -> np.ndarray:
+        if name in table:
+            return np.asarray(table[name], dtype=float)
+        return np.full(n, np.nan)
+
+    band = column_or_nan("wifi_band_ghz")
+    rssi = column_or_nan("rssi_dbm")
+    memory = column_or_nan("memory_gb")
+
+    under = normalized < config.underperformance_ratio
+    slow_absolute = downloads < config.slow_threshold_mbps
+    locally_explained = (
+        (np.isfinite(band) & (band == config.slow_band_ghz))
+        | (np.isfinite(rssi) & (rssi <= config.weak_rssi_dbm))
+        | (np.isfinite(memory) & (memory < config.low_memory_gb))
+    )
+
+    categories = np.full(n, "meets-plan", dtype=object)
+    categories[~under & slow_absolute] = "plan-limited"
+    categories[under & locally_explained] = "local-bottleneck"
+    categories[under & ~locally_explained] = "challenge-worthy"
+
+    augmented = table.with_column("challenge_category", categories)
+    values, counts = np.unique(categories, return_counts=True)
+    return ChallengeSummary(
+        table=augmented,
+        counts={str(v): int(c) for v, c in zip(values, counts)},
+    )

@@ -1,0 +1,110 @@
+"""Augment measurement tables with BST subscription-tier context.
+
+This is the paper's Section 5 step: run the BST methodology over a city's
+measurements and attach, per row, the assigned tier, its upload-group
+label, the plan's advertised speeds, and the *normalised* download/upload
+speeds (measured / advertised) that every Section 6 analysis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bst import BSTModel, BSTResult
+from repro.core.config import BSTConfig
+from repro.frame import ColumnTable
+from repro.market.plans import PlanCatalog
+from repro.stats.descriptive import normalized_values
+
+__all__ = ["contextualize", "ContextualizedDataset"]
+
+CONTEXT_COLUMNS = (
+    "bst_tier",
+    "bst_group",
+    "plan_download_mbps",
+    "plan_upload_mbps",
+    "normalized_download",
+    "normalized_upload",
+)
+
+
+@dataclass
+class ContextualizedDataset:
+    """A measurement table augmented with subscription-tier context.
+
+    Attributes
+    ----------
+    table:
+        The input table plus the :data:`CONTEXT_COLUMNS`.
+    bst_result:
+        The underlying BST fit (cluster means, assignments, diagnostics).
+    catalog:
+        The plan catalog used.
+    """
+
+    table: ColumnTable
+    bst_result: BSTResult
+    catalog: PlanCatalog
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def rows_for_group(self, group_label: str) -> ColumnTable:
+        """All rows whose upload group has ``group_label`` (e.g. "Tier 4")."""
+        return self.table.filter(self.table["bst_group"] == group_label)
+
+    def rows_for_tier(self, tier: int) -> ColumnTable:
+        """All rows assigned to plan ``tier``."""
+        return self.table.filter(self.table["bst_tier"] == tier)
+
+    @property
+    def group_labels(self) -> list[str]:
+        """Upload-group labels, ascending by upload speed."""
+        return [g.tier_label for g in self.bst_result.upload_stage.groups]
+
+
+def contextualize(
+    table: ColumnTable,
+    catalog: PlanCatalog,
+    config: BSTConfig | None = None,
+    download_column: str = "download_mbps",
+    upload_column: str = "upload_mbps",
+) -> ContextualizedDataset:
+    """Fit BST over ``table`` and attach subscription-tier context columns.
+
+    Rows with non-finite speeds are dropped before fitting (crowdsourced
+    data is noisy; a test with a missing direction cannot be assigned).
+    """
+    downloads = np.asarray(table[download_column], dtype=float)
+    uploads = np.asarray(table[upload_column], dtype=float)
+    finite = np.isfinite(downloads) & np.isfinite(uploads)
+    if not finite.any():
+        raise ValueError("no finite (download, upload) pairs to contextualize")
+    clean = table.filter(finite)
+    downloads = downloads[finite]
+    uploads = uploads[finite]
+
+    model = BSTModel(catalog, config)
+    result = model.fit(downloads, uploads)
+
+    plan_down = result.plan_download_for_rows()
+    plan_up = result.plan_upload_for_rows()
+    augmented = (
+        clean.with_column("bst_tier", result.tiers)
+        .with_column(
+            "bst_group", np.asarray(result.group_label_for_rows(), dtype=object)
+        )
+        .with_column("plan_download_mbps", plan_down)
+        .with_column("plan_upload_mbps", plan_up)
+        .with_column(
+            "normalized_download", normalized_values(downloads, plan_down)
+        )
+        .with_column(
+            "normalized_upload", normalized_values(uploads, plan_up)
+        )
+    )
+    return ContextualizedDataset(
+        table=augmented, bst_result=result, catalog=catalog
+    )

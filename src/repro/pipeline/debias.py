@@ -1,0 +1,140 @@
+"""Tier-reweighting: correcting the sampling bias BST exposes.
+
+Section 5.1 ends with the paper's warning: "Roughly half of these tests
+originate from the lowest subscription tier.  As a result, if we take
+any aggregate (such as the median) of speed test data in a locality, we
+would, at best, get a representation of the Internet quality obtained
+by the lower subscription tiers."
+
+Once BST attaches tiers, the bias is correctable: reweight each test by
+``target_share(tier) / sample_share(tier)`` and compute weighted
+aggregates.  The target shares can come from a subscription census (the
+MBA panel, ISP filings) or be uniform ("what would the median look like
+if every plan were sampled equally?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame import ColumnTable
+
+__all__ = [
+    "TierWeights",
+    "reweight_by_tier",
+    "weighted_median",
+    "debiased_summary",
+]
+
+
+@dataclass(frozen=True)
+class TierWeights:
+    """Per-row weights plus the shares they were derived from."""
+
+    weights: np.ndarray
+    sample_shares: dict[int, float]
+    target_shares: dict[int, float]
+
+
+def weighted_median(values, weights) -> float:
+    """Median of ``values`` under non-negative ``weights``.
+
+    NaN values (and their weights) are dropped; the result is the
+    smallest value whose cumulative weight reaches half the total.
+    """
+    values = np.asarray(values, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if values.shape != weights.shape:
+        raise ValueError("values and weights must align")
+    if (weights < 0).any():
+        raise ValueError("weights must be non-negative")
+    keep = np.isfinite(values) & (weights > 0)
+    values, weights = values[keep], weights[keep]
+    if values.size == 0:
+        return float("nan")
+    order = np.argsort(values)
+    values, weights = values[order], weights[order]
+    cumulative = np.cumsum(weights)
+    cutoff = 0.5 * cumulative[-1]
+    index = int(np.searchsorted(cumulative, cutoff))
+    # Exactly half the mass below: midpoint convention (matches
+    # numpy's unweighted median for uniform weights on even n).
+    if (
+        index + 1 < values.size
+        and abs(cumulative[index] - cutoff) < 1e-12 * cumulative[-1]
+    ):
+        return float(0.5 * (values[index] + values[index + 1]))
+    return float(values[index])
+
+
+def reweight_by_tier(
+    table: ColumnTable,
+    target_shares: dict[int, float] | None = None,
+    tier_column: str = "bst_tier",
+) -> TierWeights:
+    """Per-row weights that rebalance the tier mix to ``target_shares``.
+
+    ``target_shares`` maps tier -> desired share (normalised
+    internally); ``None`` targets a uniform mix over the tiers present.
+    Tiers absent from the sample are dropped from the target (they
+    cannot be upweighted from nothing).
+    """
+    if tier_column not in table:
+        raise KeyError(f"no {tier_column!r} column; contextualize first")
+    tiers = np.asarray(table[tier_column], dtype=np.int64)
+    if tiers.size == 0:
+        raise ValueError("cannot reweight an empty table")
+    present, counts = np.unique(tiers, return_counts=True)
+    sample_shares = {
+        int(t): float(c) / tiers.size for t, c in zip(present, counts)
+    }
+    if target_shares is None:
+        target = {int(t): 1.0 for t in present}
+    else:
+        target = {
+            int(t): float(s)
+            for t, s in target_shares.items()
+            if int(t) in sample_shares and s > 0
+        }
+        if not target:
+            raise ValueError(
+                "no overlap between target tiers and the sample"
+            )
+    total = sum(target.values())
+    target = {t: s / total for t, s in target.items()}
+
+    weights = np.zeros(tiers.size)
+    for tier, share in target.items():
+        mask = tiers == tier
+        weights[mask] = share / sample_shares[tier]
+    return TierWeights(
+        weights=weights,
+        sample_shares=sample_shares,
+        target_shares=target,
+    )
+
+
+def debiased_summary(
+    table: ColumnTable,
+    value_column: str = "download_mbps",
+    target_shares: dict[int, float] | None = None,
+    tier_column: str = "bst_tier",
+) -> dict[str, float]:
+    """Raw vs tier-rebalanced median of a measurement column.
+
+    Returns ``{"raw_median": ..., "debiased_median": ...}`` -- the
+    concrete demonstration that the low-tier sampling skew drags the
+    raw aggregate down.
+    """
+    values = np.asarray(table[value_column], dtype=float)
+    tier_weights = reweight_by_tier(
+        table, target_shares=target_shares, tier_column=tier_column
+    )
+    finite = values[np.isfinite(values)]
+    raw = float(np.median(finite)) if finite.size else float("nan")
+    return {
+        "raw_median": raw,
+        "debiased_median": weighted_median(values, tier_weights.weights),
+    }

@@ -1,0 +1,195 @@
+"""Local-factor diagnosis of speed test performance (Section 6.1).
+
+Each function partitions a contextualised Ookla table by one local factor
+and compares the *normalised* download speed distributions:
+
+- access type (WiFi vs Ethernet) -- Figure 9a;
+- WiFi spectrum band (2.4 vs 5 GHz, Android rows only) -- Figure 9b;
+- WiFi RSSI bins (5 GHz Android rows) -- Figure 9c;
+- available kernel memory bins (5 GHz, good-RSSI Android rows) --
+  Figure 9d;
+- "Best" vs "Local-bottleneck" (the combined filter) -- Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame import ColumnTable
+from repro.netsim.device import memory_bin_label
+from repro.stats.descriptive import median
+
+__all__ = [
+    "GroupComparison",
+    "access_type_comparison",
+    "wifi_band_comparison",
+    "rssi_comparison",
+    "memory_comparison",
+    "bottleneck_comparison",
+    "rssi_bin_label",
+    "RSSI_BIN_LABELS",
+    "MEMORY_BIN_LABELS",
+]
+
+RSSI_BIN_LABELS = (
+    ">= -30 dBm",
+    "-50 dBm - -30 dBm",
+    "-70 dBm - -50 dBm",
+    "< -70 dBm",
+)
+MEMORY_BIN_LABELS = ("< 2 GB", "2 GB - 4 GB", "4 GB - 6 GB", "> 6 GB")
+
+
+def rssi_bin_label(rssi_dbm: float) -> str:
+    """The Figure 9c bin an RSSI value falls into (best first)."""
+    if not np.isfinite(rssi_dbm):
+        raise ValueError("RSSI must be finite")
+    if rssi_dbm >= -30.0:
+        return RSSI_BIN_LABELS[0]
+    if rssi_dbm >= -50.0:
+        return RSSI_BIN_LABELS[1]
+    if rssi_dbm >= -70.0:
+        return RSSI_BIN_LABELS[2]
+    return RSSI_BIN_LABELS[3]
+
+
+@dataclass
+class GroupComparison:
+    """Normalised-download distributions for a labelled partition.
+
+    Attributes
+    ----------
+    factor:
+        The local factor being compared (e.g. "access type").
+    groups:
+        ``{label: normalised download speeds}`` per partition cell.
+    """
+
+    factor: str
+    groups: dict[str, np.ndarray]
+
+    def group_median(self, label: str) -> float:
+        return median(self.groups[label])
+
+    def medians(self) -> dict[str, float]:
+        return {label: median(v) for label, v in self.groups.items()}
+
+    def shares(self) -> dict[str, float]:
+        """Fraction of tests in each cell."""
+        total = sum(len(v) for v in self.groups.values())
+        if total == 0:
+            return {label: float("nan") for label in self.groups}
+        return {
+            label: len(v) / total for label, v in self.groups.items()
+        }
+
+    def counts(self) -> dict[str, int]:
+        return {label: len(v) for label, v in self.groups.items()}
+
+
+def _normalized(table: ColumnTable) -> np.ndarray:
+    return np.asarray(table["normalized_download"], dtype=float)
+
+
+def access_type_comparison(table: ColumnTable) -> GroupComparison:
+    """WiFi vs Ethernet (native-app rows only; web rows carry no access).
+
+    Figure 9a: the paper reports median normalised download speeds of
+    0.28 over WiFi vs 0.71 over Ethernet.
+    """
+    native = table.filter(table["origin"] == "native")
+    access = native["access"]
+    return GroupComparison(
+        factor="access type",
+        groups={
+            "WiFi": _normalized(native.filter(access == "wifi")),
+            "Ethernet": _normalized(native.filter(access == "ethernet")),
+        },
+    )
+
+
+def _android_rows(table: ColumnTable) -> ColumnTable:
+    """Android rows are the only ones with band/RSSI/memory metadata."""
+    return table.filter(table["platform"] == "android")
+
+
+def wifi_band_comparison(table: ColumnTable) -> GroupComparison:
+    """2.4 GHz vs 5 GHz Android tests (Figure 9b: medians 0.11 vs 0.40)."""
+    android = _android_rows(table)
+    band = np.asarray(android["wifi_band_ghz"], dtype=float)
+    return GroupComparison(
+        factor="WiFi band",
+        groups={
+            "2.4 GHz": _normalized(android.filter(band == 2.4)),
+            "5 GHz": _normalized(android.filter(band == 5.0)),
+        },
+    )
+
+
+def rssi_comparison(table: ColumnTable) -> GroupComparison:
+    """RSSI bins over 5 GHz Android tests (Figure 9c).
+
+    Paper: medians 0.52 / 0.49 / 0.3 / 0.2 best-to-worst, with
+    5 / 37 / 49 / 9 percent of tests per bin.
+    """
+    android = _android_rows(table)
+    five = android.filter(
+        np.asarray(android["wifi_band_ghz"], dtype=float) == 5.0
+    )
+    rssi = np.asarray(five["rssi_dbm"], dtype=float)
+    groups = {}
+    for label in RSSI_BIN_LABELS:
+        mask = np.asarray(
+            [np.isfinite(r) and rssi_bin_label(r) == label for r in rssi]
+        )
+        groups[label] = _normalized(five.filter(mask))
+    return GroupComparison(factor="WiFi RSSI", groups=groups)
+
+
+def memory_comparison(table: ColumnTable) -> GroupComparison:
+    """Kernel-memory bins for 5 GHz Android tests with RSSI > -50 dBm.
+
+    Figure 9d: the paper restricts to good-signal 5 GHz tests "to minimize
+    the impact of other factors" and reports medians 0.16 / 0.48 / 0.52 /
+    0.53 worst-to-best with 7 / 17 / 17 / 59 percent of tests per bin.
+    """
+    android = _android_rows(table)
+    band = np.asarray(android["wifi_band_ghz"], dtype=float)
+    rssi = np.asarray(android["rssi_dbm"], dtype=float)
+    eligible = android.filter((band == 5.0) & (rssi > -50.0))
+    memory = np.asarray(eligible["memory_gb"], dtype=float)
+    groups = {}
+    for label in MEMORY_BIN_LABELS:
+        mask = np.asarray(
+            [np.isfinite(m) and memory_bin_label(m) == label for m in memory]
+        )
+        groups[label] = _normalized(eligible.filter(mask))
+    return GroupComparison(factor="available memory", groups=groups)
+
+
+def bottleneck_comparison(
+    table: ColumnTable,
+    min_memory_gb: float = 2.0,
+    min_rssi_dbm: float = -50.0,
+) -> GroupComparison:
+    """"Best" vs "Local-bottleneck" Android tests (Figure 10).
+
+    Best = 5 GHz band, RSSI better than ``min_rssi_dbm``, and more than
+    ``min_memory_gb`` of available kernel memory.  The paper finds 61% of
+    Android tests in the Local-bottleneck group, with median normalised
+    download speeds of 0.22 vs 0.52 for Best.
+    """
+    android = _android_rows(table)
+    band = np.asarray(android["wifi_band_ghz"], dtype=float)
+    rssi = np.asarray(android["rssi_dbm"], dtype=float)
+    memory = np.asarray(android["memory_gb"], dtype=float)
+    best_mask = (band == 5.0) & (rssi > min_rssi_dbm) & (memory > min_memory_gb)
+    return GroupComparison(
+        factor="local bottleneck",
+        groups={
+            "Best": _normalized(android.filter(best_mask)),
+            "Local-bottleneck": _normalized(android.filter(~best_mask)),
+        },
+    )

@@ -1,0 +1,136 @@
+"""City dossier: the full contextualised picture in one report.
+
+Composes the pipeline's analyses -- tier mix, per-tier delivery,
+local-factor medians, challenge triage, metadata audit, debiased
+medians -- into a single text dossier for one contextualised dataset.
+This is the artefact a policy analyst would actually hand over: the
+paper's recommendations applied end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.challenge import CATEGORIES, classify_tests
+from repro.pipeline.contextualize import ContextualizedDataset
+from repro.pipeline.debias import debiased_summary
+from repro.pipeline.diagnosis import (
+    access_type_comparison,
+    bottleneck_comparison,
+    wifi_band_comparison,
+)
+from repro.pipeline.metadata import audit_metadata, recommend
+from repro.pipeline.report import format_table
+
+__all__ = ["city_dossier"]
+
+
+def city_dossier(ctx: ContextualizedDataset, city_label: str = "") -> str:
+    """Render the composite dossier for a contextualised dataset."""
+    table = ctx.table
+    lines: list[str] = []
+    title = city_label or f"{ctx.catalog.isp_name} service area"
+    lines.append(f"=== Broadband dossier: {title} ===")
+    lines.append(f"{len(table)} contextualised measurements\n")
+
+    # 1. Headline medians, raw vs debiased.
+    summary = debiased_summary(table)
+    lines.append("-- headline medians (download, Mbps) --")
+    lines.append(
+        format_table(
+            [
+                ["raw sample", round(summary["raw_median"], 1)],
+                [
+                    "tier-rebalanced",
+                    round(summary["debiased_median"], 1),
+                ],
+            ],
+            ["estimate", "median"],
+        )
+    )
+    lines.append("")
+
+    # 2. Tier mix and per-tier delivery.
+    rows = []
+    for label in ctx.group_labels:
+        group_rows = ctx.rows_for_group(label)
+        if len(group_rows) == 0:
+            continue
+        normalized = np.asarray(
+            group_rows["normalized_download"], dtype=float
+        )
+        rows.append(
+            [
+                label,
+                len(group_rows),
+                f"{len(group_rows) / len(table):.0%}",
+                round(float(np.median(normalized)), 2),
+            ]
+        )
+    lines.append("-- subscription mix and delivery --")
+    lines.append(
+        format_table(
+            rows, ["tier group", "tests", "share", "median dl/plan"]
+        )
+    )
+    lines.append("")
+
+    # 3. Local factors (only when device metadata exists).
+    if "platform" in table and "access" in table:
+        access = access_type_comparison(table).medians()
+        band = wifi_band_comparison(table).medians()
+        bottleneck = bottleneck_comparison(table)
+        lines.append("-- local factors (median dl/plan) --")
+        lines.append(
+            format_table(
+                [
+                    ["WiFi", round(access.get("WiFi", float("nan")), 2)],
+                    [
+                        "Ethernet",
+                        round(access.get("Ethernet", float("nan")), 2),
+                    ],
+                    [
+                        "2.4 GHz",
+                        round(band.get("2.4 GHz", float("nan")), 2),
+                    ],
+                    ["5 GHz", round(band.get("5 GHz", float("nan")), 2)],
+                    [
+                        "Best conditions",
+                        round(bottleneck.medians()["Best"], 2),
+                    ],
+                    [
+                        "Local-bottleneck "
+                        f"({bottleneck.shares()['Local-bottleneck']:.0%} "
+                        "of Android tests)",
+                        round(
+                            bottleneck.medians()["Local-bottleneck"], 2
+                        ),
+                    ],
+                ],
+                ["condition", "median dl/plan"],
+            )
+        )
+        lines.append("")
+
+    # 4. Challenge triage.
+    triage = classify_tests(table)
+    lines.append("-- FCC challenge triage --")
+    lines.append(
+        format_table(
+            [
+                [c, triage.counts.get(c, 0), f"{triage.share(c):.0%}"]
+                for c in CATEGORIES
+            ],
+            ["category", "tests", "share"],
+        )
+    )
+    lines.append("")
+
+    # 5. Metadata audit + recommendations.
+    audit = audit_metadata(table)
+    lines.append(
+        f"-- metadata: interpretability {audit.interpretability:.2f}/1.00 --"
+    )
+    for i, text in enumerate(recommend(audit), start=1):
+        lines.append(f"{i}. {text}")
+    return "\n".join(lines)

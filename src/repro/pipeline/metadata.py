@@ -1,0 +1,216 @@
+"""Metadata auditing and the paper's Section 8 recommendations.
+
+The paper closes with recommendations for speed test vendors and the
+FCC: every measurement should carry the contextual metadata needed to
+interpret it -- subscription plan, access link type, WiFi band and RSSI,
+device memory -- coupled to the result as publicly accessible metadata.
+
+This module makes that actionable: :func:`audit_metadata` scores a
+measurement table for which context fields are present, and
+:func:`recommend` turns the audit into the concrete recommendation list
+an operator (vendor or regulator) should implement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.frame import ColumnTable
+
+__all__ = [
+    "ContextField",
+    "CONTEXT_FIELDS",
+    "FieldPresence",
+    "MetadataAudit",
+    "audit_metadata",
+    "recommend",
+]
+
+
+@dataclass(frozen=True)
+class ContextField:
+    """One piece of measurement context the paper deems necessary.
+
+    ``column`` is where the field would appear in a measurement table
+    (``aliases`` lists alternative spellings, e.g. the MBA dataset
+    publishes the plan as ``tier`` while contextualised tables use
+    ``bst_tier``); ``why`` cites the paper's evidence for its
+    importance; ``weight`` is the field's share of the
+    interpretability score (summing to 1 across
+    :data:`CONTEXT_FIELDS`).
+    """
+
+    name: str
+    column: str
+    why: str
+    weight: float
+    recommendation: str
+    aliases: tuple[str, ...] = ()
+
+    def resolve_column(self, table: ColumnTable) -> str | None:
+        """The first matching column name in ``table``, if any."""
+        for candidate in (self.column, *self.aliases):
+            if candidate in table:
+                return candidate
+        return None
+
+
+CONTEXT_FIELDS: tuple[ContextField, ...] = (
+    ContextField(
+        name="subscription plan",
+        column="bst_tier",
+        why=(
+            "Half the tests come from the lowest tiers; without the plan, "
+            "a slow test is uninterpretable (Sections 2, 5.1)."
+        ),
+        weight=0.30,
+        recommendation=(
+            "Collect the subscription plan from the user where possible; "
+            "otherwise infer it (BST) and publish it with each result."
+        ),
+        aliases=("tier",),
+    ),
+    ContextField(
+        name="access link type",
+        column="access",
+        why=(
+            "WiFi tests achieve a median 0.28 of plan vs 0.71 over "
+            "Ethernet (Figure 9a)."
+        ),
+        weight=0.20,
+        recommendation=(
+            "Record whether the test ran over WiFi or a wired link "
+            "(collectable without user intervention)."
+        ),
+    ),
+    ContextField(
+        name="WiFi band",
+        column="wifi_band_ghz",
+        why=(
+            "2.4 GHz tests achieve a median 0.11 of plan vs 0.40 on "
+            "5 GHz (Figure 9b)."
+        ),
+        weight=0.15,
+        recommendation="Record the spectrum band of the WiFi association.",
+    ),
+    ContextField(
+        name="WiFi RSSI",
+        column="rssi_dbm",
+        why=(
+            "Performance spans >2x between the best and worst signal "
+            "bins (Figure 9c)."
+        ),
+        weight=0.15,
+        recommendation="Record the received signal strength at test time.",
+    ),
+    ContextField(
+        name="device memory",
+        column="memory_gb",
+        why=(
+            "Tests from devices with <2 GB available memory achieve a "
+            "median 0.16 of plan vs 0.53 above 6 GB (Figure 9d)."
+        ),
+        weight=0.10,
+        recommendation=(
+            "Record the memory available to the kernel during the test."
+        ),
+    ),
+    ContextField(
+        name="test methodology",
+        column="origin",
+        why=(
+            "Single-flow NDT under-reports multi-flow results by up to "
+            "2x on the same plans (Section 6.3)."
+        ),
+        weight=0.10,
+        recommendation=(
+            "Publish the flow count / protocol of the test, and design "
+            "challenge-grade tests to maximise path throughput."
+        ),
+    ),
+)
+
+assert abs(sum(f.weight for f in CONTEXT_FIELDS) - 1.0) < 1e-9
+
+
+@dataclass(frozen=True)
+class FieldPresence:
+    """Presence statistics of one context field in a table."""
+
+    field: ContextField
+    present: bool  # the column exists at all
+    coverage: float  # fraction of rows with a usable value
+
+
+@dataclass(frozen=True)
+class MetadataAudit:
+    """Outcome of :func:`audit_metadata`.
+
+    ``interpretability`` is the weighted coverage across all context
+    fields: 1.0 means every record carries every recommended field.
+    """
+
+    n_rows: int
+    fields: tuple[FieldPresence, ...]
+    interpretability: float
+
+    def missing_fields(self, coverage_floor: float = 0.5) -> list[str]:
+        """Names of fields absent or below the coverage floor."""
+        return [
+            fp.field.name
+            for fp in self.fields
+            if not fp.present or fp.coverage < coverage_floor
+        ]
+
+
+def _coverage(table: ColumnTable, column: str | None) -> float:
+    if column is None or column not in table or len(table) == 0:
+        return 0.0
+    values = table[column]
+    if values.dtype.kind == "f":
+        return float(np.mean(np.isfinite(np.asarray(values, dtype=float))))
+    usable = [
+        v is not None and v != "" and v != "unknown" for v in values.tolist()
+    ]
+    return float(np.mean(usable))
+
+
+def audit_metadata(table: ColumnTable) -> MetadataAudit:
+    """Score a measurement table against the recommended context fields.
+
+    Works on raw vendor tables and on contextualised tables (where
+    ``bst_tier`` supplies the subscription-plan field).
+    """
+    presences = []
+    score = 0.0
+    for field in CONTEXT_FIELDS:
+        column = field.resolve_column(table)
+        present = column is not None
+        coverage = _coverage(table, column) if column else 0.0
+        presences.append(
+            FieldPresence(field=field, present=present, coverage=coverage)
+        )
+        score += field.weight * coverage
+    return MetadataAudit(
+        n_rows=len(table),
+        fields=tuple(presences),
+        interpretability=score,
+    )
+
+
+def recommend(audit: MetadataAudit, coverage_floor: float = 0.5) -> list[str]:
+    """The Section 8 recommendation list, filtered to what's missing.
+
+    Returns the concrete recommendation string for every context field
+    that is absent or under-covered in the audited table, ordered by
+    field weight (most important first).
+    """
+    gaps = [
+        fp
+        for fp in audit.fields
+        if not fp.present or fp.coverage < coverage_floor
+    ]
+    gaps.sort(key=lambda fp: -fp.field.weight)
+    return [fp.field.recommendation for fp in gaps]

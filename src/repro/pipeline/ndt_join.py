@@ -1,0 +1,99 @@
+"""Associate NDT upload records with download records (Section 3.2).
+
+"Because NDT measurements do not associate an upload speed test with a
+download speed test initiated by the same client, we adopt a similar
+methodology to [46].  We compute a 120 second window for every download
+speed test and filter all upload speed tests issued from the same client
+and server IP address.  If a single upload speed is captured during that
+window, we associate it with the download speed.  In the event we observe
+more than one upload speed test started during this time frame that meets
+this criterion, we associate the earliest upload speed test with the
+download speed test."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame import ColumnTable
+
+__all__ = ["join_ndt_tests", "DEFAULT_WINDOW_S"]
+
+DEFAULT_WINDOW_S = 120.0
+
+
+def join_ndt_tests(
+    ndt_table: ColumnTable,
+    window_s: float = DEFAULT_WINDOW_S,
+) -> ColumnTable:
+    """Pair each NDT download with the earliest in-window upload.
+
+    Parameters
+    ----------
+    ndt_table:
+        NDT records with at least ``direction, client_ip, server_ip,
+        timestamp_s, speed_mbps`` columns (the
+        :data:`~repro.vendors.schema.MLAB_COLUMNS` schema).
+    window_s:
+        Window length after each download's start time.
+
+    Returns
+    -------
+    ColumnTable
+        One row per *matched* download with ``download_mbps`` and
+        ``upload_mbps`` columns plus the download record's metadata.
+        Downloads with no in-window upload from the same client and
+        server are dropped (they cannot be tier-assigned).
+    """
+    if window_s <= 0:
+        raise ValueError("window must be positive")
+    required = {"direction", "client_ip", "server_ip", "timestamp_s",
+                "speed_mbps"}
+    missing = required - set(ndt_table.column_names)
+    if missing:
+        raise KeyError(f"NDT table missing columns: {sorted(missing)}")
+
+    directions = ndt_table["direction"]
+    downloads = ndt_table.filter(directions == "download")
+    uploads = ndt_table.filter(directions == "upload")
+
+    # Index uploads by (client_ip, server_ip) with sorted timestamps for
+    # binary-search matching.
+    upload_index: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+    up_clients = uploads["client_ip"]
+    up_servers = uploads["server_ip"]
+    up_times = np.asarray(uploads["timestamp_s"], dtype=float)
+    up_speeds = np.asarray(uploads["speed_mbps"], dtype=float)
+    buckets: dict[tuple, list[int]] = {}
+    for i in range(len(uploads)):
+        buckets.setdefault((up_clients[i], up_servers[i]), []).append(i)
+    for key, rows in buckets.items():
+        rows_arr = np.asarray(rows)
+        order = np.argsort(up_times[rows_arr], kind="stable")
+        sorted_rows = rows_arr[order]
+        upload_index[key] = (up_times[sorted_rows], up_speeds[sorted_rows])
+
+    matched_rows: list[int] = []
+    matched_uploads: list[float] = []
+    dl_clients = downloads["client_ip"]
+    dl_servers = downloads["server_ip"]
+    dl_times = np.asarray(downloads["timestamp_s"], dtype=float)
+    for i in range(len(downloads)):
+        key = (dl_clients[i], dl_servers[i])
+        entry = upload_index.get(key)
+        if entry is None:
+            continue
+        times, speeds = entry
+        start = dl_times[i]
+        # Earliest upload with start <= t <= start + window.
+        lo = int(np.searchsorted(times, start, side="left"))
+        if lo < times.size and times[lo] <= start + window_s:
+            matched_rows.append(i)
+            matched_uploads.append(float(speeds[lo]))
+
+    joined = downloads.take(np.asarray(matched_rows, dtype=np.intp))
+    joined = joined.rename({"speed_mbps": "download_mbps"})
+    joined = joined.without_columns(["direction"])
+    return joined.with_column(
+        "upload_mbps", np.asarray(matched_uploads, dtype=float)
+    )

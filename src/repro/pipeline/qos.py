@@ -1,0 +1,71 @@
+"""QoS analysis: latency by access type and WiFi band.
+
+Ookla records latency alongside throughput (Section 3.1), and prior
+work the paper cites ([41], [45]) shows the WiFi hop inflates measured
+delay.  Our path simulator models that inflation (the WiFi extra-RTT
+and smartphone-stack terms of :class:`~repro.netsim.latency
+.LatencyModel`), so the corresponding analysis is provided: latency
+distributions partitioned the same way the throughput analyses are.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame import ColumnTable
+from repro.pipeline.diagnosis import GroupComparison
+
+__all__ = ["latency_by_access", "latency_by_band"]
+
+
+def _latency_comparison(
+    factor: str, groups: dict[str, np.ndarray]
+) -> GroupComparison:
+    return GroupComparison(factor=factor, groups=groups)
+
+
+def latency_by_access(table: ColumnTable) -> GroupComparison:
+    """Latency (ms) of native-app tests, WiFi vs Ethernet.
+
+    The WiFi hop adds queueing and contention delay; medians should
+    order WiFi > Ethernet.
+    """
+    if "latency_ms" not in table:
+        raise KeyError("table has no latency_ms column")
+    native = table.filter(table["origin"] == "native")
+    access = native["access"]
+    return _latency_comparison(
+        "latency by access type",
+        {
+            "WiFi": np.asarray(
+                native.filter(access == "wifi")["latency_ms"], dtype=float
+            ),
+            "Ethernet": np.asarray(
+                native.filter(access == "ethernet")["latency_ms"],
+                dtype=float,
+            ),
+        },
+    )
+
+
+def latency_by_band(table: ColumnTable) -> GroupComparison:
+    """Latency (ms) of Android tests per WiFi band.
+
+    The busier 2.4 GHz channel queues longer; medians should order
+    2.4 GHz >= 5 GHz.
+    """
+    if "latency_ms" not in table:
+        raise KeyError("table has no latency_ms column")
+    android = table.filter(table["platform"] == "android")
+    band = np.asarray(android["wifi_band_ghz"], dtype=float)
+    return _latency_comparison(
+        "latency by WiFi band",
+        {
+            "2.4 GHz": np.asarray(
+                android.filter(band == 2.4)["latency_ms"], dtype=float
+            ),
+            "5 GHz": np.asarray(
+                android.filter(band == 5.0)["latency_ms"], dtype=float
+            ),
+        },
+    )

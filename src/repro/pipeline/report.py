@@ -1,0 +1,108 @@
+"""Text rendering of tables and figure series.
+
+matplotlib is unavailable offline, so every "figure" is reproduced as the
+numeric series a plotting script would consume: CDF values sampled on a
+fixed grid, density curves, and median summaries.  The benchmark harness
+prints these with the helpers here, and EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.stats.descriptive import cdf_at
+
+__all__ = ["format_table", "cdf_series", "render_comparison"]
+
+
+def format_table(
+    rows: Sequence[Sequence[Any]],
+    headers: Sequence[str],
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    >>> print(format_table([["a", 1]], ["name", "n"]))
+    name | n
+    -----+--
+    a    | 1
+    """
+    if not headers:
+        raise ValueError("headers required")
+    text_rows = [[_cell(value) for value in row] for row in rows]
+    for i, row in enumerate(text_rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells, expected {len(headers)}"
+            )
+    widths = [
+        max(len(str(headers[j])), *(len(r[j]) for r in text_rows))
+        if text_rows
+        else len(str(headers[j]))
+        for j in range(len(headers))
+    ]
+    header_line = " | ".join(
+        str(h).ljust(w) for h, w in zip(headers, widths)
+    )
+    separator = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in text_rows
+    ]
+    return "\n".join([header_line, separator, *body])
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "-"
+        return f"{value:.3g}" if abs(value) < 1000 else f"{value:.0f}"
+    return str(value)
+
+
+def cdf_series(
+    values,
+    points: Sequence[float] | None = None,
+    num: int = 21,
+) -> list[tuple[float, float]]:
+    """Sample a sample's empirical CDF at fixed points.
+
+    Default points span [0, max] evenly; this is the numeric form of every
+    CDF figure in the paper.
+    """
+    values = np.asarray(values, dtype=float)
+    values = values[np.isfinite(values)]
+    if points is None:
+        top = float(values.max()) if values.size else 1.0
+        points = np.linspace(0.0, top, num)
+    fractions = cdf_at(values, points)
+    return [(float(p), float(f)) for p, f in zip(points, fractions)]
+
+
+def render_comparison(
+    title: str,
+    groups: dict[str, np.ndarray],
+    points: Sequence[float] | None = None,
+) -> str:
+    """Render labelled distributions as a median table plus CDF columns."""
+    lines = [title]
+    rows = []
+    for label, values in groups.items():
+        values = np.asarray(values, dtype=float)
+        values = values[np.isfinite(values)]
+        med = float(np.median(values)) if values.size else float("nan")
+        rows.append([label, len(values), med])
+    lines.append(format_table(rows, ["group", "n", "median"]))
+    if points is not None:
+        cdf_rows = []
+        labels = list(groups)
+        for point in points:
+            row: list[Any] = [point]
+            for label in labels:
+                fraction = cdf_at(groups[label], [point])[0]
+                row.append(float(fraction))
+            cdf_rows.append(row)
+        lines.append("")
+        lines.append(format_table(cdf_rows, ["x", *labels]))
+    return "\n".join(lines)

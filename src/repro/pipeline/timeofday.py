@@ -1,0 +1,83 @@
+"""Time-of-day analysis (Section 6.2).
+
+Tests are binned into four 6-hour local periods.  Two questions:
+
+- *When do people test?*  (Figure 11: the share per bin per tier -- the
+  fewest tests run overnight, the most in the afternoon/evening, with
+  little variation across tiers.)
+- *Does the hour change the result?*  (Figure 12: normalised download
+  speed per bin -- "the time of the test does not play a meaningful
+  role", with slightly better overnight performance.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame import ColumnTable
+
+__all__ = [
+    "TIME_BINS",
+    "time_bin_label",
+    "test_share_by_bin",
+    "normalized_speed_by_bin",
+]
+
+TIME_BINS = ("00-06", "06-12", "12-18", "18-24")
+
+
+def time_bin_label(hour: int) -> str:
+    """The 6-hour bin a local hour falls into."""
+    if not 0 <= hour <= 23:
+        raise ValueError(f"hour must be 0-23, got {hour}")
+    return TIME_BINS[hour // 6]
+
+
+def _bin_labels(table: ColumnTable) -> np.ndarray:
+    hours = np.asarray(table["hour"], dtype=int)
+    return np.asarray([time_bin_label(int(h)) for h in hours], dtype=object)
+
+
+def test_share_by_bin(
+    table: ColumnTable,
+    group_column: str = "bst_group",
+) -> dict[str, dict[str, float]]:
+    """Percentage of each group's tests falling in each time bin.
+
+    Returns ``{group_label: {time_bin: percent}}`` (Figure 11's bars).
+    """
+    labels = _bin_labels(table)
+    groups = table[group_column]
+    out: dict[str, dict[str, float]] = {}
+    for group in sorted(set(groups.tolist())):
+        mask = groups == group
+        member_bins = labels[mask]
+        total = int(mask.sum())
+        shares = {}
+        for time_bin in TIME_BINS:
+            shares[time_bin] = (
+                100.0 * float(np.sum(member_bins == time_bin)) / total
+                if total
+                else float("nan")
+            )
+        out[str(group)] = shares
+    return out
+
+
+def normalized_speed_by_bin(
+    table: ColumnTable,
+    group_label: str | None = None,
+    group_column: str = "bst_group",
+) -> dict[str, np.ndarray]:
+    """Normalised download speeds per time bin (Figure 12's CDF inputs).
+
+    ``group_label`` restricts to one upload group (the paper plots
+    Tiers 4 and 5); ``None`` uses every row.
+    """
+    if group_label is not None:
+        table = table.filter(table[group_column] == group_label)
+    labels = _bin_labels(table)
+    speeds = np.asarray(table["normalized_download"], dtype=float)
+    return {
+        time_bin: speeds[labels == time_bin] for time_bin in TIME_BINS
+    }

@@ -1,0 +1,73 @@
+"""Ookla vs M-Lab comparison within matched subscription tiers
+(Section 6.3).
+
+Because both datasets are contextualised with the same catalog, tests
+"that, in theory, should achieve similar performance" can be compared:
+same tier, same city, same ISP.  The paper finds M-Lab's single-flow NDT
+consistently lags Ookla's multi-flow tests -- median normalised download
+ratios of roughly 1.2, 2, 1.4 and 1.2 for City-A's four upload groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pipeline.contextualize import ContextualizedDataset
+from repro.stats.descriptive import median
+
+__all__ = ["VendorComparison", "compare_vendors"]
+
+
+@dataclass
+class VendorComparison:
+    """Per-upload-group normalised download comparison of two vendors."""
+
+    group_labels: list[str]
+    ookla: dict[str, np.ndarray]
+    mlab: dict[str, np.ndarray]
+
+    def medians(self) -> dict[str, tuple[float, float]]:
+        """``{group: (ookla_median, mlab_median)}``."""
+        return {
+            label: (median(self.ookla[label]), median(self.mlab[label]))
+            for label in self.group_labels
+        }
+
+    def lag_factors(self) -> dict[str, float]:
+        """How many times Ookla's median exceeds M-Lab's, per group."""
+        out = {}
+        for label, (ookla_med, mlab_med) in self.medians().items():
+            out[label] = (
+                ookla_med / mlab_med if mlab_med > 0 else float("inf")
+            )
+        return out
+
+
+def compare_vendors(
+    ookla: ContextualizedDataset,
+    mlab: ContextualizedDataset,
+) -> VendorComparison:
+    """Compare two contextualised datasets of the same city and catalog.
+
+    Raises ``ValueError`` when the catalogs differ -- cross-ISP tiers are
+    not comparable.
+    """
+    if ookla.catalog != mlab.catalog:
+        raise ValueError(
+            "vendor comparison requires the same city/ISP catalog"
+        )
+    labels = ookla.group_labels
+    ookla_groups: dict[str, np.ndarray] = {}
+    mlab_groups: dict[str, np.ndarray] = {}
+    for label in labels:
+        ookla_groups[label] = np.asarray(
+            ookla.rows_for_group(label)["normalized_download"], dtype=float
+        )
+        mlab_groups[label] = np.asarray(
+            mlab.rows_for_group(label)["normalized_download"], dtype=float
+        )
+    return VendorComparison(
+        group_labels=labels, ookla=ookla_groups, mlab=mlab_groups
+    )

@@ -1,0 +1,47 @@
+"""Statistics substrate: density estimation and clustering from scratch.
+
+The BST methodology of the paper (Section 4.2) is built on two classical
+tools -- Kernel Density Estimation with Gaussian kernels to *count* the
+clusters present in a speed distribution, and a Gaussian Mixture Model fit
+with Expectation-Maximization to *assign* measurements to those clusters.
+scikit-learn is not available offline, so both are implemented here on
+numpy, together with a 1-D K-Means used as an ablation baseline and the
+descriptive statistics (CDFs, consistency factor) used throughout the
+evaluation.
+"""
+
+from repro.stats.kde import GaussianKDE, silverman_bandwidth, scott_bandwidth
+from repro.stats.peaks import count_density_peaks, find_density_peaks
+from repro.stats.gmm import GaussianMixture, GMMFitResult, select_components_bic
+from repro.stats.gmm2d import GaussianMixture2D, GMM2DFitResult
+from repro.stats.kmeans import KMeans1D
+from repro.stats.descriptive import (
+    consistency_factor,
+    ecdf,
+    cdf_at,
+    quantiles,
+    median,
+    normalized_values,
+    bootstrap_ci,
+)
+
+__all__ = [
+    "GaussianKDE",
+    "silverman_bandwidth",
+    "scott_bandwidth",
+    "count_density_peaks",
+    "find_density_peaks",
+    "GaussianMixture",
+    "GMMFitResult",
+    "select_components_bic",
+    "GaussianMixture2D",
+    "GMM2DFitResult",
+    "KMeans1D",
+    "consistency_factor",
+    "ecdf",
+    "cdf_at",
+    "quantiles",
+    "median",
+    "normalized_values",
+    "bootstrap_ci",
+]

@@ -1,0 +1,134 @@
+"""Descriptive statistics used across the paper's evaluation.
+
+Covers the per-user *consistency factor* of Section 4.1 (mean / 95th
+percentile ratio over a user's repeated tests), empirical CDFs (every CDF
+figure in the paper), quantile summaries, and plan-normalised speeds
+(Section 6: "we normalize the recorded download speed by the offered
+download speed for the subscription tier").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "consistency_factor",
+    "ecdf",
+    "cdf_at",
+    "quantiles",
+    "median",
+    "normalized_values",
+    "bootstrap_ci",
+]
+
+
+def consistency_factor(values, percentile: float = 95.0) -> float:
+    """Ratio of the mean to the ``percentile``-th percentile of a sample.
+
+    Defined in Section 4.1: "we calculate a consistency factor by taking the
+    ratio of the mean and 95th percentile for the sets of upload and
+    download speeds recorded over multiple tests by the same user".  Values
+    near 1 mean the user's repeated tests are consistent.  The ratio can
+    exceed 1 for heavy-tailed samples (the paper notes this).
+    """
+    values = np.asarray(values, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise ValueError("consistency factor of an empty sample is undefined")
+    denom = float(np.percentile(values, percentile))
+    if denom == 0.0:
+        return 1.0 if float(values.mean()) == 0.0 else np.inf
+    return float(values.mean()) / denom
+
+
+def ecdf(values) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF of a sample.
+
+    Returns ``(sorted_values, cumulative_fraction)`` where
+    ``cumulative_fraction[i]`` is the fraction of the sample ``<=``
+    ``sorted_values[i]``.  NaNs are dropped.
+    """
+    values = np.asarray(values, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return np.array([]), np.array([])
+    xs = np.sort(values)
+    fractions = np.arange(1, xs.size + 1, dtype=float) / xs.size
+    return xs, fractions
+
+
+def cdf_at(values, points) -> np.ndarray:
+    """Evaluate the empirical CDF of ``values`` at arbitrary ``points``."""
+    values = np.asarray(values, dtype=float)
+    values = values[np.isfinite(values)]
+    points = np.atleast_1d(np.asarray(points, dtype=float))
+    if values.size == 0:
+        return np.full(points.shape, np.nan)
+    xs = np.sort(values)
+    return np.searchsorted(xs, points, side="right") / xs.size
+
+
+def quantiles(values, qs=(0.1, 0.25, 0.5, 0.75, 0.9)) -> dict[float, float]:
+    """Named quantile summary of a sample, NaNs dropped."""
+    values = np.asarray(values, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return {float(q): float("nan") for q in qs}
+    result = np.quantile(values, list(qs))
+    return {float(q): float(v) for q, v in zip(qs, result)}
+
+
+def median(values) -> float:
+    """Median with NaNs dropped; NaN for an empty sample."""
+    values = np.asarray(values, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return float("nan")
+    return float(np.median(values))
+
+
+def bootstrap_ci(
+    values,
+    statistic=np.median,
+    confidence: float = 0.95,
+    n_boot: int = 1000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for a statistic.
+
+    Crowdsourced medians are sample estimates; the evaluation reports
+    them with intervals so shape claims (e.g. "Ethernet > WiFi") can be
+    checked for overlap.  NaNs are dropped; an empty sample raises.
+    """
+    values = np.asarray(values, dtype=float)
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        raise ValueError("bootstrap of an empty sample is undefined")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if n_boot < 1:
+        raise ValueError("n_boot must be positive")
+    rng = np.random.default_rng(seed)
+    indices = rng.integers(0, values.size, size=(n_boot, values.size))
+    estimates = np.asarray(
+        [statistic(values[row]) for row in indices], dtype=float
+    )
+    alpha = (1.0 - confidence) / 2.0
+    lo, hi = np.quantile(estimates, [alpha, 1.0 - alpha])
+    return float(lo), float(hi)
+
+
+def normalized_values(measured, offered) -> np.ndarray:
+    """Element-wise ``measured / offered`` speed normalisation.
+
+    This is the paper's normalised download speed: 1.0 means the test
+    achieved exactly the subscribed plan rate.  Non-positive or non-finite
+    offered speeds yield NaN rather than raising, because tier assignment
+    can legitimately fail for out-of-catalog measurements.
+    """
+    measured = np.asarray(measured, dtype=float)
+    offered = np.asarray(offered, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        out = measured / offered
+    out = np.where(np.isfinite(offered) & (offered > 0), out, np.nan)
+    return out

@@ -1,0 +1,42 @@
+"""Speed test vendor simulators: Ookla, M-Lab NDT, and the FCC MBA panel.
+
+Each simulator draws subscribers from the market model, runs their tests
+through the :mod:`repro.netsim` path simulator with the vendor's own TCP
+methodology, and emits a :class:`~repro.frame.ColumnTable` with the
+vendor's metadata schema:
+
+- **Ookla** (:mod:`repro.vendors.ookla`): multi-flow tests; native-app
+  records carry platform, access type, and (Android only) WiFi band, RSSI
+  and kernel memory; web records carry none of that.
+- **M-Lab NDT** (:mod:`repro.vendors.mlab`): single-flow tests; download
+  and upload are *separate* records keyed by client/server IP and
+  timestamp, as in the real NDT archive (Section 3.2).
+- **MBA** (:mod:`repro.vendors.mba`): wired whitebox units measuring a few
+  times daily with ground-truth subscription tiers (Section 3.3).
+
+Every record also carries ``true_tier`` -- the simulated ground truth.
+The real Ookla/M-Lab datasets lack this; analysis code must not consume it
+outside accuracy evaluation, which is exactly how the paper uses MBA.
+"""
+
+from repro.vendors.schema import (
+    OOKLA_COLUMNS,
+    MLAB_COLUMNS,
+    MBA_COLUMNS,
+    sample_test_hour,
+    DIURNAL_BIN_WEIGHTS,
+)
+from repro.vendors.ookla import OoklaSimulator
+from repro.vendors.mlab import MLabSimulator
+from repro.vendors.mba import MBASimulator
+
+__all__ = [
+    "OOKLA_COLUMNS",
+    "MLAB_COLUMNS",
+    "MBA_COLUMNS",
+    "sample_test_hour",
+    "DIURNAL_BIN_WEIGHTS",
+    "OoklaSimulator",
+    "MLabSimulator",
+    "MBASimulator",
+]

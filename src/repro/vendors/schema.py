@@ -1,0 +1,93 @@
+"""Record schemas and shared sampling helpers for the vendor simulators.
+
+The column sets mirror what each real dataset exposes (Section 3):
+Ookla's Speedtest Intelligence rows carry QoS metrics plus device/access
+metadata; M-Lab NDT rows are direction-specific with IPs and RTT only;
+MBA rows add the ground-truth subscription tier.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "OOKLA_COLUMNS",
+    "MLAB_COLUMNS",
+    "MBA_COLUMNS",
+    "DIURNAL_BIN_WEIGHTS",
+    "sample_test_hour",
+    "sample_test_month",
+]
+
+# Fraction of tests starting in each 6-hour local bin (00-06, 06-12,
+# 12-18, 18-24).  Figure 11: fewest tests overnight, most in the
+# afternoon/evening, with little variation across tiers.
+DIURNAL_BIN_WEIGHTS = (0.10, 0.25, 0.33, 0.32)
+
+OOKLA_COLUMNS = (
+    "test_id",
+    "user_id",
+    "city",
+    "isp",
+    "platform",  # android | ios | desktop-wifi | desktop-ethernet | web
+    "origin",  # native | web
+    "access",  # wifi | ethernet | unknown (web tests carry no metadata)
+    "download_mbps",
+    "upload_mbps",
+    "latency_ms",
+    "month",  # 1-12
+    "hour",  # 0-23 local
+    "wifi_band_ghz",  # Android only; NaN otherwise
+    "rssi_dbm",  # Android only; NaN otherwise
+    "memory_gb",  # Android only; NaN otherwise
+    "true_tier",  # simulation ground truth -- not in the real dataset
+)
+
+MLAB_COLUMNS = (
+    "test_id",
+    "client_ip",
+    "server_ip",
+    "asn",
+    "city",
+    "isp",
+    "direction",  # download | upload (NDT records are one-directional)
+    "speed_mbps",
+    "rtt_ms",
+    "timestamp_s",  # seconds since Jan 1 local
+    "month",
+    "hour",
+    "true_tier",  # simulation ground truth -- not in the real dataset
+)
+
+MBA_COLUMNS = (
+    "unit_id",
+    "state",
+    "isp",
+    "download_mbps",
+    "upload_mbps",
+    "month",
+    "hour",
+    "tier",  # ground truth: MBA publishes the subscribed plan
+)
+
+
+def sample_test_hour(rng: np.random.Generator) -> int:
+    """Sample a local test hour from the diurnal profile of Figure 11."""
+    bin_index = int(
+        rng.choice(len(DIURNAL_BIN_WEIGHTS), p=np.asarray(DIURNAL_BIN_WEIGHTS))
+    )
+    return int(bin_index * 6 + rng.integers(0, 6))
+
+
+def sample_test_month(
+    rng: np.random.Generator,
+    excluded_months: tuple[int, ...] = (),
+) -> int:
+    """Sample a month 1-12 uniformly, skipping ``excluded_months``.
+
+    The MBA 2021 release lacks September and October (Section 3).
+    """
+    allowed = [m for m in range(1, 13) if m not in excluded_months]
+    if not allowed:
+        raise ValueError("every month excluded")
+    return int(rng.choice(allowed))

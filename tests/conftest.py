@@ -1,0 +1,59 @@
+"""Shared fixtures: small, session-scoped simulated datasets.
+
+Generating and contextualising data dominates test runtime, so every
+dataset used by more than one test module is built once per session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.market.isps import city_catalog, state_catalog
+from repro.pipeline.contextualize import contextualize
+from repro.pipeline.ndt_join import join_ndt_tests
+from repro.vendors.mba import MBASimulator
+from repro.vendors.mlab import MLabSimulator
+from repro.vendors.ookla import OoklaSimulator
+
+
+@pytest.fixture(scope="session")
+def catalog_a():
+    return city_catalog("A")
+
+
+@pytest.fixture(scope="session")
+def state_catalog_a():
+    return state_catalog("A")
+
+
+@pytest.fixture(scope="session")
+def ookla_a():
+    """~5k Ookla City-A records."""
+    return OoklaSimulator("A", seed=11).generate(5_000)
+
+
+@pytest.fixture(scope="session")
+def mlab_raw_a():
+    """~4k-session raw NDT records for City-A."""
+    return MLabSimulator("A", seed=12).generate(4_000)
+
+
+@pytest.fixture(scope="session")
+def mlab_joined_a(mlab_raw_a):
+    return join_ndt_tests(mlab_raw_a)
+
+
+@pytest.fixture(scope="session")
+def mba_a():
+    """~5k MBA State-A records with ground-truth tiers."""
+    return MBASimulator("A", seed=13).generate(5_000)
+
+
+@pytest.fixture(scope="session")
+def ookla_ctx_a(ookla_a, catalog_a):
+    return contextualize(ookla_a, catalog_a)
+
+
+@pytest.fixture(scope="session")
+def mlab_ctx_a(mlab_joined_a, catalog_a):
+    return contextualize(mlab_joined_a, catalog_a)

@@ -1,0 +1,80 @@
+"""Tests for accuracy evaluation against ground truth."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BSTModel,
+    accuracy_report,
+    tier_accuracy,
+    upload_group_accuracy,
+)
+from repro.market import city_catalog
+
+from tests.core.test_bst import synthetic_city_sample
+
+
+@pytest.fixture
+def fitted():
+    catalog = city_catalog("A")
+    downloads, uploads, tiers = synthetic_city_sample(catalog, seed=9)
+    result = BSTModel(catalog).fit(downloads, uploads)
+    return result, tiers
+
+
+def test_high_accuracy_on_clean_data(fitted):
+    result, tiers = fitted
+    assert tier_accuracy(result, tiers) > 0.97
+    assert upload_group_accuracy(result, tiers) > 0.99
+
+
+def test_upload_group_at_least_tier_accuracy(fitted):
+    result, tiers = fitted
+    assert upload_group_accuracy(result, tiers) >= tier_accuracy(
+        result, tiers
+    )
+
+
+def test_report_contents(fitted):
+    result, tiers = fitted
+    report = accuracy_report(result, tiers)
+    assert report.n_measurements == len(tiers)
+    assert set(report.per_group_tier_accuracy) <= {
+        "Tier 1-3", "Tier 4", "Tier 5", "Tier 6",
+    }
+    assert sum(report.confusion.values()) == len(tiers)
+
+
+def test_confusion_diagonal_dominates(fitted):
+    result, tiers = fitted
+    report = accuracy_report(result, tiers)
+    diagonal = sum(
+        n for (true_t, got_t), n in report.confusion.items()
+        if true_t == got_t
+    )
+    assert diagonal / report.n_measurements > 0.97
+
+
+def test_length_mismatch_rejected(fitted):
+    result, tiers = fitted
+    with pytest.raises(ValueError):
+        tier_accuracy(result, tiers[:-1])
+    with pytest.raises(ValueError):
+        upload_group_accuracy(result, tiers[:-1])
+    with pytest.raises(ValueError):
+        accuracy_report(result, tiers[:-1])
+
+
+def test_unknown_tier_in_truth_rejected(fitted):
+    result, tiers = fitted
+    bad = tiers.copy()
+    bad[0] = 99
+    with pytest.raises(KeyError):
+        upload_group_accuracy(result, bad)
+
+
+def test_perfect_and_zero_accuracy(fitted):
+    result, _ = fitted
+    assert tier_accuracy(result, result.tiers) == 1.0
+    wrong = np.where(result.tiers == 1, 2, 1)
+    assert tier_accuracy(result, wrong) == 0.0

@@ -1,0 +1,99 @@
+"""Property-based tests: BST over randomly generated plan catalogs.
+
+The methodology must not be specific to the four studied menus: for any
+catalog whose upload rates are separated and whose per-plan measurement
+noise is moderate, BST should recover the tiers of clean synthetic
+data.  Hypothesis generates the catalogs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BSTModel, tier_accuracy, upload_group_accuracy
+from repro.market import Plan, PlanCatalog
+
+
+@st.composite
+def separated_catalogs(draw):
+    """Catalogs with log-separated upload rates and download menus."""
+    n_groups = draw(st.integers(min_value=2, max_value=4))
+    # Upload rates separated by at least ~1.8x keep clusters resolvable.
+    uploads = []
+    value = draw(st.floats(min_value=2.0, max_value=6.0))
+    for _ in range(n_groups):
+        uploads.append(round(value, 1))
+        value *= draw(st.floats(min_value=1.9, max_value=3.0))
+    plans = []
+    download = draw(st.floats(min_value=20.0, max_value=60.0))
+    for upload in uploads:
+        n_plans = draw(st.integers(min_value=1, max_value=2))
+        for _ in range(n_plans):
+            plans.append(Plan(round(download, 0), upload))
+            download *= draw(st.floats(min_value=2.2, max_value=3.5))
+    return PlanCatalog("Hypothetical-ISP", plans)
+
+
+def synthetic_sample(catalog, n_per_tier, seed):
+    rng = np.random.default_rng(seed)
+    downloads, uploads, tiers = [], [], []
+    for plan in catalog.plans:
+        downloads.append(
+            rng.normal(
+                plan.download_mbps * 1.1,
+                plan.download_mbps * 0.05,
+                n_per_tier,
+            )
+        )
+        uploads.append(
+            rng.normal(
+                plan.upload_mbps * 1.1,
+                plan.upload_mbps * 0.04,
+                n_per_tier,
+            )
+        )
+        tiers.append(np.full(n_per_tier, plan.tier))
+    return (
+        np.concatenate(downloads),
+        np.concatenate(uploads),
+        np.concatenate(tiers),
+    )
+
+
+@given(separated_catalogs(), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=25, deadline=None)
+def test_bst_recovers_tiers_on_any_separated_catalog(catalog, seed):
+    downloads, uploads, tiers = synthetic_sample(catalog, 120, seed)
+    result = BSTModel(catalog).fit(downloads, uploads)
+    assert upload_group_accuracy(result, tiers) > 0.9
+    assert tier_accuracy(result, tiers) > 0.8
+
+
+@given(separated_catalogs())
+@settings(max_examples=25, deadline=None)
+def test_assigned_tiers_always_in_catalog(catalog):
+    downloads, uploads, _ = synthetic_sample(catalog, 60, 7)
+    result = BSTModel(catalog).fit(downloads, uploads)
+    assert set(result.tiers.tolist()) <= set(catalog.tiers)
+    assert (result.group_indices >= 0).all()
+    assert (
+        result.group_indices < len(catalog.upload_groups())
+    ).all()
+
+
+@given(separated_catalogs())
+@settings(max_examples=15, deadline=None)
+def test_fit_deterministic_per_catalog(catalog):
+    downloads, uploads, _ = synthetic_sample(catalog, 50, 3)
+    a = BSTModel(catalog).fit(downloads, uploads)
+    b = BSTModel(catalog).fit(downloads, uploads)
+    assert np.array_equal(a.tiers, b.tiers)
+
+
+@given(separated_catalogs())
+@settings(max_examples=15, deadline=None)
+def test_describe_mentions_every_group(catalog):
+    text = BSTModel(catalog).describe()
+    for group in catalog.upload_groups():
+        assert group.tier_label in text

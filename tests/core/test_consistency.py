@@ -1,0 +1,109 @@
+"""Tests for per-user consistency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import alpha_values, per_user_consistency_factors
+from repro.frame import ColumnTable
+
+
+def _user_table(tests_per_user):
+    users, speeds = [], []
+    rng = np.random.default_rng(0)
+    for user, (n, scale) in tests_per_user.items():
+        users += [user] * n
+        speeds += list(rng.normal(scale, scale * 0.05, n))
+    return ColumnTable(
+        {"user_id": users, "download_mbps": speeds}
+    )
+
+
+class TestConsistencyFactors:
+    def test_min_tests_filter(self):
+        table = _user_table({"a": (6, 100), "b": (3, 100)})
+        out = per_user_consistency_factors(table, "download_mbps")
+        assert out["user_id"].tolist() == ["a"]
+
+    def test_factor_near_one_for_stable_user(self):
+        table = _user_table({"a": (30, 100)})
+        out = per_user_consistency_factors(table, "download_mbps")
+        assert out["consistency_factor"][0] == pytest.approx(1.0, abs=0.1)
+
+    def test_variable_user_below_stable_user(self):
+        rng = np.random.default_rng(1)
+        table = ColumnTable(
+            {
+                "user_id": ["stable"] * 20 + ["wild"] * 20,
+                "download_mbps": list(rng.normal(100, 2, 20))
+                + list(rng.uniform(5, 200, 20)),
+            }
+        )
+        out = per_user_consistency_factors(table, "download_mbps")
+        factors = dict(zip(out["user_id"], out["consistency_factor"]))
+        assert factors["wild"] < factors["stable"]
+
+    def test_counts_reported(self):
+        table = _user_table({"a": (8, 50)})
+        out = per_user_consistency_factors(table, "download_mbps")
+        assert out["n_tests"].tolist() == [8]
+
+    def test_invalid_min_tests(self):
+        table = _user_table({"a": (6, 100)})
+        with pytest.raises(ValueError):
+            per_user_consistency_factors(table, "download_mbps", min_tests=0)
+
+    def test_empty_table(self):
+        table = ColumnTable({"user_id": [], "download_mbps": []})
+        out = per_user_consistency_factors(table, "download_mbps")
+        assert len(out) == 0
+
+
+def _tier_table(rows):
+    """rows: list of (user, month, tier)."""
+    return ColumnTable(
+        {
+            "user_id": [r[0] for r in rows],
+            "month": [r[1] for r in rows],
+            "bst_tier": [r[2] for r in rows],
+        }
+    )
+
+
+class TestAlpha:
+    def test_stable_user_alpha_one(self):
+        rows = [("u", 1, 3)] * 6
+        out = alpha_values(_tier_table(rows))
+        assert out["alpha"].tolist() == [1.0]
+
+    def test_split_user_alpha_fraction(self):
+        rows = [("u", 1, 3)] * 4 + [("u", 1, 4)] * 2
+        out = alpha_values(_tier_table(rows))
+        assert out["alpha"][0] == pytest.approx(4 / 6)
+
+    def test_min_tests_is_strict(self):
+        # Section 5.2: "more than five speed tests in a month".
+        rows = [("u", 1, 3)] * 5
+        assert len(alpha_values(_tier_table(rows))) == 0
+        rows = [("u", 1, 3)] * 6
+        assert len(alpha_values(_tier_table(rows))) == 1
+
+    def test_months_separate(self):
+        rows = [("u", 1, 3)] * 6 + [("u", 2, 4)] * 6
+        out = alpha_values(_tier_table(rows))
+        assert len(out) == 2
+        assert set(out["alpha"].tolist()) == {1.0}
+
+    def test_users_separate(self):
+        rows = [("u", 1, 3)] * 6 + [("v", 1, 4)] * 6
+        assert len(alpha_values(_tier_table(rows))) == 2
+
+    def test_invalid_min_tests(self):
+        with pytest.raises(ValueError):
+            alpha_values(_tier_table([("u", 1, 3)] * 6), min_tests=0)
+
+    def test_alpha_bounds(self):
+        rng = np.random.default_rng(2)
+        rows = [("u", 1, int(t)) for t in rng.integers(1, 7, 40)]
+        out = alpha_values(_tier_table(rows))
+        alpha = out["alpha"][0]
+        assert 1 / 6 <= alpha <= 1.0

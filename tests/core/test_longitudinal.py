@@ -1,0 +1,119 @@
+"""Tests for longitudinal tier-change detection."""
+
+import pytest
+
+from repro.core.longitudinal import (
+    detect_tier_changes,
+    monthly_majority_tiers,
+)
+from repro.frame import ColumnTable
+
+
+def _history(rows):
+    """rows: (user, month, tier) repeated per test."""
+    return ColumnTable(
+        {
+            "user_id": [r[0] for r in rows],
+            "month": [r[1] for r in rows],
+            "bst_tier": [r[2] for r in rows],
+        }
+    )
+
+
+def _user_months(user, month_tiers, tests_per_month=3):
+    rows = []
+    for month, tier in month_tiers:
+        rows += [(user, month, tier)] * tests_per_month
+    return rows
+
+
+class TestMonthlyMajority:
+    def test_majority_wins(self):
+        table = _history(
+            [("u", 1, 2), ("u", 1, 2), ("u", 1, 3)]
+        )
+        assert monthly_majority_tiers(table) == {"u": {1: 2}}
+
+    def test_min_tests_filters(self):
+        table = _history([("u", 1, 2)])
+        assert monthly_majority_tiers(table, min_tests=2) == {}
+
+    def test_invalid_min_tests(self):
+        with pytest.raises(ValueError):
+            monthly_majority_tiers(_history([("u", 1, 2)]), min_tests=0)
+
+
+class TestChangeDetection:
+    def test_stable_user_no_changes(self):
+        table = _history(
+            _user_months("u", [(m, 4) for m in range(1, 13)])
+        )
+        assert detect_tier_changes(table) == []
+
+    def test_persistent_upgrade_detected(self):
+        table = _history(
+            _user_months(
+                "u",
+                [(1, 2), (2, 2), (3, 2), (4, 5), (5, 5), (6, 5)],
+            )
+        )
+        changes = detect_tier_changes(table)
+        assert len(changes) == 1
+        change = changes[0]
+        assert change.month == 4
+        assert change.old_tier == 2 and change.new_tier == 5
+        assert change.is_upgrade
+
+    def test_downgrade_detected(self):
+        table = _history(
+            _user_months(
+                "u", [(1, 6), (2, 6), (3, 1), (4, 1), (5, 1)]
+            )
+        )
+        (change,) = detect_tier_changes(table)
+        assert not change.is_upgrade
+
+    def test_single_month_flip_ignored(self):
+        # BST noise: one odd month between stable stretches.
+        table = _history(
+            _user_months(
+                "u",
+                [(1, 2), (2, 2), (3, 5), (4, 2), (5, 2), (6, 2)],
+            )
+        )
+        assert detect_tier_changes(table) == []
+
+    def test_two_changes_in_one_year(self):
+        table = _history(
+            _user_months(
+                "u",
+                [
+                    (1, 1), (2, 1), (3, 4), (4, 4), (5, 4),
+                    (6, 6), (7, 6), (8, 6),
+                ],
+            )
+        )
+        changes = detect_tier_changes(table)
+        assert [(c.old_tier, c.new_tier) for c in changes] == [
+            (1, 4), (4, 6),
+        ]
+
+    def test_short_history_skipped(self):
+        table = _history(_user_months("u", [(1, 2), (2, 5)]))
+        assert detect_tier_changes(table, persistence_months=2) == []
+
+    def test_invalid_persistence(self):
+        with pytest.raises(ValueError):
+            detect_tier_changes(_history([("u", 1, 2)]),
+                                persistence_months=0)
+
+    def test_simulated_population_mostly_stable(self, ookla_ctx_a):
+        # The simulator keeps each household on one plan all year, so
+        # detected changes (BST noise surviving the persistence filter)
+        # must be rare.
+        native = ookla_ctx_a.table.filter(
+            ookla_ctx_a.table["origin"] == "native"
+        )
+        changes = detect_tier_changes(native)
+        users = len(set(native["user_id"].tolist()))
+        assert len(changes) < 0.05 * users

@@ -1,0 +1,70 @@
+"""Tests for catalog / BST-fit serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.core.bst import BSTModel
+from repro.core.serialize import (
+    bst_result_from_dict,
+    bst_result_to_dict,
+    catalog_from_dict,
+    catalog_to_dict,
+    load_bst_result,
+    save_bst_result,
+)
+from repro.market import city_catalog
+
+
+def test_catalog_round_trip():
+    catalog = city_catalog("C")
+    assert catalog_from_dict(catalog_to_dict(catalog)) == catalog
+
+
+def test_catalog_dict_is_plain_json():
+    import json
+
+    text = json.dumps(catalog_to_dict(city_catalog("A")))
+    assert "ISP-A" in text
+
+
+@pytest.fixture(scope="module")
+def fitted(request):
+    mba = request.getfixturevalue("mba_a")
+    catalog = request.getfixturevalue("state_catalog_a")
+    return BSTModel(catalog).fit(mba["download_mbps"], mba["upload_mbps"])
+
+
+def test_bst_result_round_trip(fitted):
+    restored = bst_result_from_dict(bst_result_to_dict(fitted))
+    assert np.array_equal(restored.tiers, fitted.tiers)
+    assert np.array_equal(restored.group_indices, fitted.group_indices)
+    assert np.allclose(
+        restored.upload_stage.cluster_means,
+        fitted.upload_stage.cluster_means,
+    )
+    assert restored.catalog == fitted.catalog
+
+
+def test_download_stages_survive(fitted):
+    restored = bst_result_from_dict(bst_result_to_dict(fitted))
+    assert set(restored.download_stages) == set(fitted.download_stages)
+    for gi, stage in fitted.download_stages.items():
+        assert (
+            restored.download_stages[gi].cluster_tiers
+            == stage.cluster_tiers
+        )
+
+
+def test_restored_result_methods_work(fitted):
+    restored = bst_result_from_dict(bst_result_to_dict(fitted))
+    assert np.array_equal(
+        restored.plan_download_for_rows(), fitted.plan_download_for_rows()
+    )
+    assert restored.group_label_for_rows() == fitted.group_label_for_rows()
+
+
+def test_file_round_trip(tmp_path, fitted):
+    path = tmp_path / "fit.json"
+    save_bst_result(fitted, path)
+    restored = load_bst_result(path)
+    assert np.array_equal(restored.tiers, fitted.tiers)

@@ -1,0 +1,81 @@
+"""Tests for experiment scaffolding (result container, scales, data)."""
+
+import pytest
+
+from repro.experiments import ExperimentResult, Scale
+from repro.experiments import data as exp_data
+
+
+class TestScale:
+    def test_presets_ordered(self):
+        assert (
+            Scale.SMALL.ookla_tests
+            < Scale.MEDIUM.ookla_tests
+            < Scale.LARGE.ookla_tests
+        )
+        assert (
+            Scale.SMALL.mba_tests
+            < Scale.MEDIUM.mba_tests
+            <= Scale.LARGE.mba_tests
+        )
+
+    def test_large_approaches_paper_sizes(self):
+        assert Scale.LARGE.ookla_tests >= 100_000
+        assert Scale.LARGE.mba_tests >= 20_000
+
+    def test_from_value(self):
+        assert Scale("small") is Scale.SMALL
+
+
+class TestExperimentResult:
+    def test_render_includes_sections_and_metrics(self):
+        result = ExperimentResult(
+            experiment_id="demo",
+            title="Demo",
+            sections={"numbers": "1 | 2"},
+            metrics={"x": 1.5},
+            paper_values={"x": 2.0},
+            notes="a note",
+        )
+        text = result.render()
+        assert "demo" in text
+        assert "numbers" in text
+        assert "1.5" in text and "paper: 2" in text
+        assert "a note" in text
+
+    def test_render_without_paper_value(self):
+        result = ExperimentResult(
+            experiment_id="demo", title="Demo", metrics={"y": 3.0}
+        )
+        text = result.render()
+        assert "y: 3" in text
+        assert "(paper:" not in text
+
+    def test_render_empty_result(self):
+        result = ExperimentResult(experiment_id="demo", title="Demo")
+        assert "demo" in result.render()
+
+
+class TestDataCaches:
+    def test_memoisation_returns_same_object(self):
+        a = exp_data.ookla_dataset("A", Scale.SMALL, 0)
+        b = exp_data.ookla_dataset("A", Scale.SMALL, 0)
+        assert a is b
+
+    def test_different_seed_different_data(self):
+        a = exp_data.ookla_dataset("A", Scale.SMALL, 0)
+        b = exp_data.ookla_dataset("A", Scale.SMALL, 1)
+        assert a is not b
+        assert a != b
+
+    def test_clear_caches(self):
+        a = exp_data.ookla_dataset("A", Scale.SMALL, 0)
+        exp_data.clear_caches()
+        b = exp_data.ookla_dataset("A", Scale.SMALL, 0)
+        assert a is not b
+        assert a == b  # deterministic regeneration
+
+    def test_contextualized_matches_dataset(self):
+        table = exp_data.ookla_dataset("A", Scale.SMALL, 0)
+        ctx = exp_data.ookla_contextualized("A", Scale.SMALL, 0)
+        assert len(ctx) == len(table)

@@ -1,0 +1,70 @@
+"""Content checks on the rendered experiment reports (small scale)."""
+
+import pytest
+
+from repro.experiments import Scale, run_experiment
+
+SCALE = Scale.SMALL
+
+
+@pytest.fixture(scope="module")
+def rendered():
+    cache = {}
+
+    def get(eid: str) -> str:
+        if eid not in cache:
+            cache[eid] = run_experiment(eid, scale=SCALE, seed=0).render()
+        return cache[eid]
+
+    return get
+
+
+def test_fig1_lists_all_series(rendered):
+    text = rendered("fig1")
+    for series in (
+        "Uncontextualized", "Tier 1", "Tier 6 (1.2 Gbps)",
+        "Tier 6 Android best", "Tier 6 Ethernet",
+    ):
+        assert series in text
+
+
+def test_tab2_shows_paper_column(rendered):
+    text = rendered("tab2")
+    assert "paper" in text
+    assert "99.33%" in text  # the paper's State-A value
+
+
+def test_fig4_reports_offered_uploads(rendered):
+    text = rendered("fig4")
+    for label in ("Tier 2-3", "Tier 4", "Tier 5", "Tier 6"):
+        assert label in text
+
+
+def test_fig9_has_four_panels(rendered):
+    text = rendered("fig9")
+    for panel in ("9a", "9b", "9c", "9d"):
+        assert panel in text
+
+
+def test_fig13_mentions_both_vendors(rendered):
+    text = rendered("fig13")
+    assert "ookla" in text.lower()
+    assert "mlab" in text.lower()
+
+
+def test_tab5_7_covers_three_cities(rendered):
+    text = rendered("tab5-7")
+    for city in ("City-B", "City-C", "City-D"):
+        assert city in text
+
+
+def test_ext_metadata_lists_recommendations(rendered):
+    text = rendered("ext-metadata")
+    assert "recommendations for M-Lab" in text
+    assert "subscription plan" in text
+
+
+def test_fig3_renders_pipeline_for_all_states(rendered):
+    text = rendered("fig3")
+    for state in ("State-A", "State-B", "State-C", "State-D"):
+        assert state in text

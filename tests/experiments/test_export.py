@@ -1,0 +1,51 @@
+"""Tests for the report-export module."""
+
+import pytest
+
+from repro.experiments import Scale
+from repro.experiments.export import export_all
+from repro.frame import read_csv
+
+
+def test_export_subset(tmp_path):
+    results = export_all(
+        tmp_path, experiment_ids=["fig10", "tab2"], scale=Scale.SMALL
+    )
+    assert set(results) == {"fig10", "tab2"}
+    assert (tmp_path / "fig10.txt").exists()
+    assert (tmp_path / "tab2.txt").exists()
+    assert "fig10" in (tmp_path / "summary.txt").read_text()
+
+
+def test_metrics_csv_structure(tmp_path):
+    export_all(tmp_path, experiment_ids=["tab2"], scale=Scale.SMALL)
+    metrics = read_csv(tmp_path / "metrics.csv")
+    assert set(metrics.column_names) == {
+        "experiment", "metric", "measured", "paper",
+    }
+    assert len(metrics) > 0
+    assert set(metrics["experiment"].tolist()) == {"tab2"}
+
+
+def test_unknown_experiment_rejected(tmp_path):
+    with pytest.raises(KeyError, match="unknown"):
+        export_all(tmp_path, experiment_ids=["fig99"])
+
+
+def test_creates_directory(tmp_path):
+    target = tmp_path / "nested" / "reports"
+    export_all(target, experiment_ids=["fig10"], scale=Scale.SMALL)
+    assert target.is_dir()
+
+
+def test_cli_report_all(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main(
+        [
+            "report-all", "--out-dir", str(tmp_path / "reports"),
+            "--scale", "small", "--only", "fig10",
+        ]
+    )
+    assert code == 0
+    assert "exported 1" in capsys.readouterr().out

@@ -1,0 +1,44 @@
+"""Meta-tests: the registry fully covers the paper and the bench suite
+fully covers the registry."""
+
+from pathlib import Path
+
+from repro.experiments import REGISTRY
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+# Every table and figure in the paper's evaluation.
+PAPER_ARTIFACTS = {
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig9", "fig10", "fig11", "fig12", "fig13", "fig14-18",
+    "tab1", "tab2", "tab3", "tab4", "tab5-7",
+}
+
+
+def _bench_sources() -> str:
+    return "\n".join(
+        path.read_text() for path in BENCH_DIR.glob("bench_*.py")
+    )
+
+
+def test_every_paper_artifact_registered():
+    assert PAPER_ARTIFACTS <= set(REGISTRY)
+
+
+def test_every_registered_experiment_has_a_bench():
+    sources = _bench_sources()
+    missing = [
+        eid for eid in REGISTRY if f'"{eid}"' not in sources
+    ]
+    assert not missing, f"experiments without a bench: {missing}"
+
+
+def test_registry_ids_are_stable_slugs():
+    for eid in REGISTRY:
+        assert eid == eid.lower()
+        assert " " not in eid
+
+
+def test_every_driver_documents_itself():
+    for eid, runner in REGISTRY.items():
+        assert runner.__doc__, f"{eid} driver lacks a docstring"

@@ -1,0 +1,93 @@
+"""CSV round-trip and type-inference tests."""
+
+import numpy as np
+import pytest
+
+from repro.frame import ColumnTable, read_csv, write_csv
+
+
+def test_round_trip_basic(tmp_path):
+    t = ColumnTable(
+        {"name": ["a", "b"], "n": [1, 2], "speed": [1.5, 2.5]}
+    )
+    path = tmp_path / "t.csv"
+    write_csv(t, path)
+    assert read_csv(path) == t
+
+
+def test_int_column_inferred(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("n\n1\n2\n3\n")
+    t = read_csv(path)
+    assert t["n"].dtype.kind == "i"
+
+
+def test_float_column_inferred(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("x\n1.5\n2\n")
+    assert read_csv(path)["x"].dtype.kind == "f"
+
+
+def test_missing_cells_become_nan(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("x\n1.5\n\n2.5\n")
+    values = read_csv(path)["x"]
+    assert np.isnan(values[1])
+    assert values[0] == 1.5
+
+
+def test_int_with_missing_promotes_to_float(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("n\n1\n\n3\n")
+    assert read_csv(path)["n"].dtype.kind == "f"
+
+
+def test_string_column_stays_object(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("s\nhello\n12x\n")
+    assert read_csv(path)["s"].dtype == object
+
+
+def test_nan_round_trips_as_empty(tmp_path):
+    t = ColumnTable({"x": [1.0, np.nan]})
+    path = tmp_path / "t.csv"
+    write_csv(t, path)
+    assert "nan" not in path.read_text().lower()
+    back = read_csv(path)
+    assert np.isnan(back["x"][1])
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("")
+    assert len(read_csv(path)) == 0
+
+
+def test_header_only(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("a,b\n")
+    t = read_csv(path)
+    assert t.column_names == ["a", "b"]
+    assert len(t) == 0
+
+
+def test_quoted_commas_survive(tmp_path):
+    t = ColumnTable({"s": ["x,y", "plain"]})
+    path = tmp_path / "t.csv"
+    write_csv(t, path)
+    assert read_csv(path)["s"].tolist() == ["x,y", "plain"]
+
+
+def test_ragged_row_padded(tmp_path):
+    path = tmp_path / "t.csv"
+    path.write_text("a,b\n1,2\n3\n")
+    t = read_csv(path)
+    assert len(t) == 2
+    assert np.isnan(t["b"][1])
+
+
+def test_none_rendered_as_empty(tmp_path):
+    t = ColumnTable({"s": np.asarray(["x", None], dtype=object)})
+    path = tmp_path / "t.csv"
+    write_csv(t, path)
+    assert read_csv(path)["s"].tolist() == ["x", ""]

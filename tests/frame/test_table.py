@@ -1,0 +1,325 @@
+"""Unit tests for the ColumnTable substrate."""
+
+import numpy as np
+import pytest
+
+from repro.frame import ColumnTable, concat
+
+
+@pytest.fixture
+def small():
+    return ColumnTable(
+        {
+            "city": ["A", "A", "B", "B", "C"],
+            "speed": [10.0, 20.0, 30.0, 40.0, 50.0],
+            "tier": [1, 2, 1, 2, 3],
+        }
+    )
+
+
+class TestConstruction:
+    def test_empty_table(self):
+        t = ColumnTable()
+        assert len(t) == 0
+        assert t.column_names == []
+
+    def test_lengths_recorded(self, small):
+        assert len(small) == 5
+        assert small.num_rows == 5
+        assert small.num_columns == 3
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            ColumnTable({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_scalar_column_rejected(self):
+        with pytest.raises(ValueError, match="sequence"):
+            ColumnTable({"a": 5})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            ColumnTable({"a": np.zeros((2, 2))})
+
+    def test_strings_become_object_dtype(self):
+        t = ColumnTable({"s": np.asarray(["x", "longer"], dtype="U10")})
+        assert t["s"].dtype == object
+
+    def test_int_column_keeps_int_dtype(self, small):
+        assert small["tier"].dtype.kind == "i"
+
+    def test_from_dicts_round_trip(self, small):
+        rebuilt = ColumnTable.from_dicts(small.to_dicts())
+        assert rebuilt == small
+
+    def test_from_dicts_empty(self):
+        assert len(ColumnTable.from_dicts([])) == 0
+
+    def test_from_dicts_mismatched_keys(self):
+        with pytest.raises(ValueError, match="keys"):
+            ColumnTable.from_dicts([{"a": 1}, {"b": 2}])
+
+    def test_copy_is_deep(self, small):
+        cloned = small.copy()
+        cloned["speed"][0] = 999.0
+        assert small["speed"][0] == 10.0
+
+
+class TestAccess:
+    def test_getitem_missing_column(self, small):
+        with pytest.raises(KeyError, match="available"):
+            small["nope"]
+
+    def test_contains(self, small):
+        assert "city" in small
+        assert "nope" not in small
+
+    def test_iteration_yields_names(self, small):
+        assert list(small) == ["city", "speed", "tier"]
+
+    def test_row_access(self, small):
+        assert small.row(0) == {"city": "A", "speed": 10.0, "tier": 1}
+
+    def test_row_negative_index(self, small):
+        assert small.row(-1)["city"] == "C"
+
+    def test_row_out_of_range(self, small):
+        with pytest.raises(IndexError):
+            small.row(5)
+
+    def test_unique(self, small):
+        assert small.unique("city").tolist() == ["A", "B", "C"]
+
+    def test_value_counts(self, small):
+        assert small.value_counts("tier") == {1: 2, 2: 2, 3: 1}
+
+    def test_repr_mentions_rows(self, small):
+        assert "5 rows" in repr(small)
+
+
+class TestMutationStyleOps:
+    def test_with_column_adds(self, small):
+        t = small.with_column("double", small["speed"] * 2)
+        assert "double" in t
+        assert "double" not in small  # original untouched
+
+    def test_with_column_replaces(self, small):
+        t = small.with_column("speed", [1.0] * 5)
+        assert t["speed"].tolist() == [1.0] * 5
+
+    def test_with_column_length_checked(self, small):
+        with pytest.raises(ValueError, match="length"):
+            small.with_column("x", [1, 2])
+
+    def test_without_columns(self, small):
+        t = small.without_columns(["tier"])
+        assert t.column_names == ["city", "speed"]
+
+    def test_without_missing_column_raises(self, small):
+        with pytest.raises(KeyError, match="missing"):
+            small.without_columns(["ghost"])
+
+    def test_rename(self, small):
+        t = small.rename({"speed": "mbps"})
+        assert "mbps" in t and "speed" not in t
+
+    def test_rename_missing_raises(self, small):
+        with pytest.raises(KeyError):
+            small.rename({"ghost": "x"})
+
+    def test_select_reorders(self, small):
+        t = small.select(["tier", "city"])
+        assert t.column_names == ["tier", "city"]
+
+
+class TestFilterTakeSort:
+    def test_filter_by_mask(self, small):
+        t = small.filter(small["speed"] > 25)
+        assert len(t) == 3
+
+    def test_filter_by_callable(self, small):
+        t = small.filter(lambda tab: tab["city"] == "A")
+        assert len(t) == 2
+
+    def test_filter_empty_result(self, small):
+        t = small.filter(small["speed"] > 1000)
+        assert len(t) == 0
+        assert t.column_names == small.column_names
+
+    def test_filter_non_boolean_rejected(self, small):
+        with pytest.raises(TypeError, match="boolean"):
+            small.filter(np.asarray([1, 0, 1, 0, 1]))
+
+    def test_filter_wrong_length_rejected(self, small):
+        with pytest.raises(ValueError, match="length"):
+            small.filter(np.asarray([True, False]))
+
+    def test_take(self, small):
+        t = small.take([4, 0])
+        assert t["city"].tolist() == ["C", "A"]
+
+    def test_head(self, small):
+        assert len(small.head(2)) == 2
+        assert len(small.head(99)) == 5
+
+    def test_sort_by_single_key(self, small):
+        t = small.sort_by("speed", descending=True)
+        assert t["speed"].tolist() == [50.0, 40.0, 30.0, 20.0, 10.0]
+
+    def test_sort_by_multiple_keys(self):
+        t = ColumnTable({"a": [2, 1, 2, 1], "b": [1, 2, 0, 1]})
+        s = t.sort_by(["a", "b"])
+        assert s["a"].tolist() == [1, 1, 2, 2]
+        assert s["b"].tolist() == [1, 2, 0, 1]
+
+    def test_sort_requires_keys(self, small):
+        with pytest.raises(ValueError):
+            small.sort_by([])
+
+    def test_sort_is_stable(self):
+        t = ColumnTable({"k": [1, 1, 1], "v": [3, 1, 2]})
+        assert t.sort_by("k")["v"].tolist() == [3, 1, 2]
+
+
+class TestGroupBy:
+    def test_group_count(self, small):
+        assert len(small.groupby("city")) == 3
+
+    def test_size(self, small):
+        sizes = small.groupby("city").size()
+        assert dict(zip(sizes["city"], sizes["count"])) == {
+            "A": 2, "B": 2, "C": 1,
+        }
+
+    def test_agg_mean(self, small):
+        out = small.groupby("city").agg(mean_speed=("speed", "mean"))
+        assert dict(zip(out["city"], out["mean_speed"])) == {
+            "A": 15.0, "B": 35.0, "C": 50.0,
+        }
+
+    def test_agg_multiple(self, small):
+        out = small.groupby("city").agg(
+            lo=("speed", "min"), hi=("speed", "max"), n=("*", "count")
+        )
+        assert out["lo"].tolist() == [10.0, 30.0, 50.0]
+        assert out["hi"].tolist() == [20.0, 40.0, 50.0]
+        assert out["n"].tolist() == [2, 2, 1]
+
+    def test_agg_callable(self, small):
+        out = small.groupby("city").agg(
+            spread=("speed", lambda v: float(v.max() - v.min()))
+        )
+        assert out["spread"].tolist() == [10.0, 10.0, 0.0]
+
+    def test_agg_unknown_reducer(self, small):
+        with pytest.raises(ValueError, match="unknown aggregation"):
+            small.groupby("city").agg(x=("speed", "mode"))
+
+    def test_agg_requires_aggregations(self, small):
+        with pytest.raises(ValueError):
+            small.groupby("city").agg()
+
+    def test_groupby_missing_key(self, small):
+        with pytest.raises(KeyError):
+            small.groupby("ghost")
+
+    def test_groupby_multi_key(self, small):
+        groups = small.groupby(["city", "tier"]).groups()
+        assert ("A", 1) in groups
+        assert len(groups) == 5
+
+    def test_iteration(self, small):
+        seen = {key for key, _ in small.groupby("city")}
+        assert seen == {("A",), ("B",), ("C",)}
+
+    def test_apply(self, small):
+        out = small.groupby("city").apply(len)
+        assert out == {("A",): 2, ("B",): 2, ("C",): 1}
+
+
+class TestJoin:
+    def test_inner_join(self, small):
+        plans = ColumnTable({"tier": [1, 2, 3], "down": [25, 100, 200]})
+        joined = small.join(plans, on="tier")
+        assert len(joined) == 5
+        assert "down" in joined
+
+    def test_inner_join_drops_unmatched(self, small):
+        plans = ColumnTable({"tier": [1], "down": [25]})
+        joined = small.join(plans, on="tier")
+        assert len(joined) == 2
+
+    def test_left_join_keeps_unmatched(self, small):
+        plans = ColumnTable({"tier": [1], "down": [25.0]})
+        joined = small.join(plans, on="tier", how="left")
+        assert len(joined) == 5
+        unmatched = joined.filter(joined["tier"] != 1)
+        assert np.isnan(unmatched["down"]).all()
+
+    def test_left_join_object_fill(self, small):
+        names = ColumnTable({"tier": [1], "label": ["bronze"]})
+        joined = small.join(names, on="tier", how="left")
+        missing = joined.filter(joined["tier"] == 3)
+        assert missing["label"].tolist() == [None]
+
+    def test_join_duplicate_right_rows_multiply(self):
+        left = ColumnTable({"k": [1], "v": [10]})
+        right = ColumnTable({"k": [1, 1], "w": [5, 6]})
+        joined = left.join(right, on="k")
+        assert len(joined) == 2
+        assert sorted(joined["w"].tolist()) == [5, 6]
+
+    def test_join_collision_suffix(self):
+        left = ColumnTable({"k": [1], "v": [10]})
+        right = ColumnTable({"k": [1], "v": [99]})
+        joined = left.join(right, on="k")
+        assert joined["v"].tolist() == [10]
+        assert joined["v_right"].tolist() == [99]
+
+    def test_join_multi_key(self):
+        left = ColumnTable({"a": [1, 1], "b": ["x", "y"], "v": [1, 2]})
+        right = ColumnTable({"a": [1], "b": ["y"], "w": [7]})
+        joined = left.join(right, on=["a", "b"])
+        assert joined["v"].tolist() == [2]
+
+    def test_join_missing_key_raises(self, small):
+        with pytest.raises(KeyError):
+            small.join(small, on="ghost")
+
+    def test_join_bad_how(self, small):
+        with pytest.raises(ValueError, match="join type"):
+            small.join(small, on="tier", how="outer")
+
+
+class TestConcat:
+    def test_concat_two(self, small):
+        doubled = concat([small, small])
+        assert len(doubled) == 10
+
+    def test_concat_empty_list(self):
+        assert len(concat([])) == 0
+
+    def test_concat_schema_mismatch(self, small):
+        other = ColumnTable({"x": [1]})
+        with pytest.raises(ValueError, match="columns"):
+            concat([small, other])
+
+    def test_concat_preserves_order(self, small):
+        out = concat([small.head(1), small.take([4])])
+        assert out["city"].tolist() == ["A", "C"]
+
+
+class TestEquality:
+    def test_equal_tables(self, small):
+        assert small == small.copy()
+
+    def test_unequal_values(self, small):
+        other = small.with_column("speed", [0.0] * 5)
+        assert small != other
+
+    def test_nan_aware_float_equality(self):
+        a = ColumnTable({"x": [1.0, np.nan]})
+        b = ColumnTable({"x": [1.0, np.nan]})
+        assert a == b
+
+    def test_non_table_comparison(self, small):
+        assert (small == 42) is False

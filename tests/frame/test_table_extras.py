@@ -1,0 +1,77 @@
+"""Tests for ColumnTable convenience methods (sample/describe/crosstab)."""
+
+import numpy as np
+import pytest
+
+from repro.frame import ColumnTable
+
+
+@pytest.fixture
+def table():
+    return ColumnTable(
+        {
+            "city": ["A", "A", "B", "B", "B"],
+            "speed": [10.0, np.nan, 30.0, 40.0, 50.0],
+            "tier": [1, 1, 2, 2, 3],
+        }
+    )
+
+
+class TestSample:
+    def test_size(self, table):
+        assert len(table.sample(3, seed=1)) == 3
+
+    def test_caps_at_length(self, table):
+        assert len(table.sample(100, seed=1)) == 5
+
+    def test_without_replacement(self, table):
+        sampled = table.sample(5, seed=2)
+        assert sorted(sampled["tier"].tolist()) == sorted(
+            table["tier"].tolist()
+        )
+
+    def test_deterministic(self, table):
+        assert table.sample(3, seed=4) == table.sample(3, seed=4)
+
+    def test_negative_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.sample(-1)
+
+
+class TestDescribe:
+    def test_one_row_per_column(self, table):
+        summary = table.describe()
+        assert summary["column"].tolist() == ["city", "speed", "tier"]
+
+    def test_numeric_summary(self, table):
+        summary = table.describe()
+        row = summary.row(1)  # "speed"
+        assert row["non_null"] == 4
+        assert row["min"] == 10.0
+        assert row["max"] == 50.0
+        assert row["median"] == 35.0
+
+    def test_object_summary(self, table):
+        row = table.describe().row(0)  # "city"
+        assert row["non_null"] == 5
+        assert row["distinct"] == 2
+        assert np.isnan(row["min"])
+
+    def test_empty_numeric_column(self):
+        summary = ColumnTable({"x": [np.nan, np.nan]}).describe()
+        assert np.isnan(summary.row(0)["median"])
+
+
+class TestCrosstab:
+    def test_counts(self, table):
+        counts = table.crosstab("city", "tier")
+        assert counts[("A", 1)] == 2
+        assert counts[("B", 2)] == 2
+        assert counts[("B", 3)] == 1
+
+    def test_total_preserved(self, table):
+        assert sum(table.crosstab("city", "tier").values()) == len(table)
+
+    def test_missing_key(self, table):
+        with pytest.raises(KeyError):
+            table.crosstab("city", "ghost")

@@ -1,0 +1,102 @@
+"""Property-based tests of ColumnTable invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import ColumnTable, concat
+
+
+@st.composite
+def tables(draw, max_rows=30):
+    n = draw(st.integers(min_value=0, max_value=max_rows))
+    keys = draw(
+        st.lists(
+            st.sampled_from(["g", "h", "k"]),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        )
+    )
+    columns = {
+        key: draw(
+            st.lists(
+                st.integers(min_value=0, max_value=4),
+                min_size=n,
+                max_size=n,
+            )
+        )
+        for key in keys
+    }
+    columns["value"] = draw(
+        st.lists(
+            st.floats(
+                min_value=-1e6, max_value=1e6, allow_nan=False
+            ),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return ColumnTable(columns)
+
+
+@given(tables())
+def test_filter_true_mask_is_identity(t):
+    assert t.filter(np.ones(len(t), dtype=bool)) == t
+
+
+@given(tables())
+def test_filter_false_mask_is_empty(t):
+    assert len(t.filter(np.zeros(len(t), dtype=bool))) == 0
+
+
+@given(tables())
+def test_filter_partitions_rows(t):
+    if len(t) == 0:
+        return
+    mask = t["value"] >= 0
+    kept = t.filter(mask)
+    dropped = t.filter(~mask)
+    assert len(kept) + len(dropped) == len(t)
+
+
+@given(tables())
+def test_groupby_sizes_sum_to_total(t):
+    if len(t) == 0:
+        return
+    sizes = t.groupby("value").size()
+    assert int(np.sum(sizes["count"])) == len(t)
+
+
+@given(tables())
+def test_sort_preserves_multiset(t):
+    if len(t) == 0:
+        return
+    s = t.sort_by("value")
+    assert sorted(s["value"].tolist()) == sorted(t["value"].tolist())
+    assert np.all(np.diff(s["value"]) >= 0)
+
+
+@given(tables(), tables())
+def test_concat_length_adds(a, b):
+    if set(a.column_names) != set(b.column_names):
+        return
+    b = b.select(a.column_names)
+    assert len(concat([a, b])) == len(a) + len(b)
+
+
+@given(tables())
+def test_to_dicts_round_trip(t):
+    if len(t) == 0:
+        return
+    assert ColumnTable.from_dicts(t.to_dicts()) == t
+
+
+@given(tables())
+@settings(max_examples=50)
+def test_self_join_on_unique_key_preserves_rows(t):
+    if len(t) == 0:
+        return
+    unique_key = t.with_column("uid", np.arange(len(t)))
+    joined = unique_key.join(unique_key, on="uid")
+    assert len(joined) == len(t)

@@ -1,0 +1,63 @@
+"""Determinism and persistence integration tests."""
+
+import numpy as np
+
+from repro.core.bst import BSTModel
+from repro.frame import read_csv, write_csv
+from repro.market import city_catalog
+from repro.pipeline import contextualize
+from repro.vendors import MBASimulator, MLabSimulator, OoklaSimulator
+
+
+def test_ookla_generation_reproducible_across_instances():
+    a = OoklaSimulator("B", seed=77).generate(400)
+    b = OoklaSimulator("B", seed=77).generate(400)
+    assert a == b
+
+
+def test_mlab_generation_reproducible():
+    a = MLabSimulator("C", seed=78).generate(300)
+    b = MLabSimulator("C", seed=78).generate(300)
+    assert a == b
+
+
+def test_mba_generation_reproducible():
+    a = MBASimulator("D", seed=79).generate(500)
+    b = MBASimulator("D", seed=79).generate(500)
+    assert a == b
+
+
+def test_bst_fit_deterministic(mba_a, state_catalog_a):
+    first = BSTModel(state_catalog_a).fit(
+        mba_a["download_mbps"], mba_a["upload_mbps"]
+    )
+    second = BSTModel(state_catalog_a).fit(
+        mba_a["download_mbps"], mba_a["upload_mbps"]
+    )
+    assert np.array_equal(first.tiers, second.tiers)
+    assert np.allclose(
+        first.upload_stage.cluster_means,
+        second.upload_stage.cluster_means,
+    )
+
+
+def test_contextualize_deterministic(ookla_a, catalog_a):
+    a = contextualize(ookla_a, catalog_a)
+    b = contextualize(ookla_a, catalog_a)
+    assert np.array_equal(
+        a.table["bst_tier"], b.table["bst_tier"]
+    )
+
+
+def test_dataset_survives_csv_round_trip(tmp_path, ookla_a, catalog_a):
+    """Persist, reload, and re-contextualise: assignments must agree."""
+    path = tmp_path / "ookla.csv"
+    write_csv(ookla_a.head(800), path)
+    reloaded = read_csv(path)
+    ctx_orig = contextualize(ookla_a.head(800), catalog_a)
+    ctx_reload = contextualize(reloaded, catalog_a)
+    match = np.mean(
+        np.asarray(ctx_orig.table["bst_tier"])
+        == np.asarray(ctx_reload.table["bst_tier"])
+    )
+    assert match > 0.999

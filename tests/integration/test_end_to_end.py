@@ -1,0 +1,83 @@
+"""Integration tests: the full paper pipeline on one seeded city."""
+
+import numpy as np
+import pytest
+
+from repro.core import accuracy_report, upload_group_accuracy
+from repro.core.bst import BSTModel
+from repro.market import city_catalog, state_catalog
+from repro.pipeline import (
+    bottleneck_comparison,
+    compare_vendors,
+    wifi_band_comparison,
+)
+from repro.vendors import MBASimulator
+
+
+class TestMBAValidationFlow:
+    """Section 4.3: BST validated against the MBA panel."""
+
+    def test_accuracy_exceeds_paper_floor(self, mba_a, state_catalog_a):
+        result = BSTModel(state_catalog_a).fit(
+            mba_a["download_mbps"], mba_a["upload_mbps"]
+        )
+        report = accuracy_report(result, mba_a["tier"])
+        assert report.upload_group_accuracy > 0.96
+        assert report.tier_accuracy > 0.95
+
+    def test_per_group_accuracy_high(self, mba_a, state_catalog_a):
+        result = BSTModel(state_catalog_a).fit(
+            mba_a["download_mbps"], mba_a["upload_mbps"]
+        )
+        report = accuracy_report(result, mba_a["tier"])
+        for label, accuracy in report.per_group_tier_accuracy.items():
+            assert accuracy > 0.9, label
+
+
+class TestCrowdsourcedFlow:
+    """Sections 5-6: contextualise Ookla + M-Lab, then diagnose."""
+
+    def test_group_counts_skew_low(self, ookla_ctx_a):
+        table = ookla_ctx_a.table
+        low = len(ookla_ctx_a.rows_for_group("Tier 1-3"))
+        assert low / len(table) > 0.3
+
+    def test_city_median_far_below_top_plan(self, ookla_ctx_a):
+        downloads = np.asarray(
+            ookla_ctx_a.table["download_mbps"], dtype=float
+        )
+        assert np.median(downloads) < 1200 / 4
+
+    def test_assignment_matches_simulation_truth(self, ookla_ctx_a):
+        accuracy = upload_group_accuracy(
+            ookla_ctx_a.bst_result, ookla_ctx_a.table["true_tier"]
+        )
+        assert accuracy > 0.85
+
+    def test_local_factor_and_vendor_analyses_consistent(
+        self, ookla_ctx_a, mlab_ctx_a
+    ):
+        band = wifi_band_comparison(ookla_ctx_a.table).medians()
+        assert band["5 GHz"] > band["2.4 GHz"]
+        bottleneck = bottleneck_comparison(ookla_ctx_a.table)
+        assert bottleneck.shares()["Local-bottleneck"] > 0.5
+        comparison = compare_vendors(ookla_ctx_a, mlab_ctx_a)
+        for label, lag in comparison.lag_factors().items():
+            assert lag > 1.0, label
+
+
+class TestCrossCityGeneralisation:
+    """The methodology must work beyond City-A's menu shape."""
+
+    @pytest.mark.parametrize("state", ["B", "C", "D"])
+    def test_mba_accuracy_other_states(self, state):
+        mba = MBASimulator(state, seed=21).generate(4_000)
+        result = BSTModel(state_catalog(state)).fit(
+            mba["download_mbps"], mba["upload_mbps"]
+        )
+        report = accuracy_report(result, mba["tier"])
+        assert report.upload_group_accuracy > 0.95, state
+
+    def test_city_d_three_group_menu(self):
+        catalog = city_catalog("D")
+        assert len(catalog.upload_groups()) == 3

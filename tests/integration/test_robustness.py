@@ -1,0 +1,114 @@
+"""Robustness / failure-injection integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import BSTModel, upload_group_accuracy
+from repro.frame import ColumnTable, read_csv
+from repro.market import city_catalog
+from repro.pipeline import contextualize
+
+
+class TestWrongCatalog:
+    def test_cross_city_contextualization_degrades_gracefully(
+        self, ookla_a
+    ):
+        """City-A data against City-D's menu: no crash, tiers valid.
+
+        This is the failure mode of skipping the Form 477 dominant-ISP
+        step -- assignments complete but are meaningless; the API must
+        stay total rather than failing mid-pipeline.
+        """
+        wrong = contextualize(ookla_a, city_catalog("D"))
+        assert len(wrong) == len(ookla_a)
+        assert set(wrong.table["bst_tier"].tolist()) <= set(
+            city_catalog("D").tiers
+        )
+
+    def test_right_catalog_beats_wrong_catalog(self, ookla_a, catalog_a):
+        right = contextualize(ookla_a, catalog_a)
+        accuracy = upload_group_accuracy(
+            right.bst_result, right.table["true_tier"]
+        )
+        assert accuracy > 0.85
+
+
+class TestDirtyInputs:
+    def test_negative_speeds_survive_fit(self, catalog_a):
+        rng = np.random.default_rng(0)
+        table = ColumnTable(
+            {
+                "download_mbps": np.concatenate(
+                    [rng.normal(110, 8, 200), [-5.0]]
+                ),
+                "upload_mbps": np.concatenate(
+                    [rng.normal(5.5, 0.3, 200), [2.0]]
+                ),
+            }
+        )
+        ctx = contextualize(table, catalog_a)
+        assert len(ctx) == 201  # negative speeds are data, not errors
+
+    def test_single_tier_city(self, catalog_a):
+        rng = np.random.default_rng(1)
+        table = ColumnTable(
+            {
+                "download_mbps": rng.normal(110, 8, 300),
+                "upload_mbps": rng.normal(5.5, 0.3, 300),
+            }
+        )
+        ctx = contextualize(table, catalog_a)
+        # All mass in one tier: the fit must not invent other tiers
+        # beyond its group.
+        assert set(ctx.table["bst_group"].tolist()) == {"Tier 1-3"}
+
+    def test_tiny_sample(self, catalog_a):
+        table = ColumnTable(
+            {
+                "download_mbps": [110.0, 420.0, 810.0, 1100.0],
+                "upload_mbps": [5.5, 11.2, 17.0, 39.0],
+            }
+        )
+        ctx = contextualize(table, catalog_a)
+        assert len(ctx) == 4
+
+    def test_fewer_rows_than_groups_rejected(self, catalog_a):
+        table = ColumnTable(
+            {"download_mbps": [110.0], "upload_mbps": [5.5]}
+        )
+        with pytest.raises(ValueError, match="at least"):
+            contextualize(table, catalog_a)
+
+
+class TestCorruptCSV:
+    def test_truncated_file_partial_read(self, tmp_path):
+        path = tmp_path / "broken.csv"
+        path.write_text("a,b\n1,2\n3")  # last row truncated
+        table = read_csv(path)
+        assert len(table) == 2
+
+    def test_binaryish_cells_become_strings(self, tmp_path):
+        path = tmp_path / "odd.csv"
+        path.write_text('a\n"\x01\x02"\nplain\n')
+        table = read_csv(path)
+        assert table["a"].dtype == object
+
+
+class TestExtremePlans:
+    def test_bst_handles_symmetric_style_menu(self):
+        """A fiber-like menu with large uploads still stages correctly."""
+        from repro.market import Plan, PlanCatalog
+
+        catalog = PlanCatalog(
+            "Fiber-ISP",
+            [Plan(300, 150), Plan(1000, 500)],
+        )
+        rng = np.random.default_rng(2)
+        uploads = np.concatenate(
+            [rng.normal(160, 8, 200), rng.normal(520, 20, 200)]
+        )
+        downloads = np.concatenate(
+            [rng.normal(320, 20, 200), rng.normal(1020, 60, 200)]
+        )
+        result = BSTModel(catalog).fit(downloads, uploads)
+        assert set(result.tiers.tolist()) == {1, 2}

@@ -1,0 +1,54 @@
+"""Tests for the synthetic address dataset."""
+
+import pytest
+
+from repro.market.addresses import AddressDataset
+from repro.market.census import CensusGrid
+
+
+@pytest.fixture
+def dataset():
+    return AddressDataset(CensusGrid("A", rows=4, cols=4, seed=3), seed=3)
+
+
+def test_one_address_per_household(dataset):
+    grid = CensusGrid("A", rows=4, cols=4, seed=3)
+    assert len(dataset) == grid.total_households
+
+
+def test_formatted_address(dataset):
+    text = dataset.addresses[0].formatted
+    assert "City-A" in text
+    assert text.split(" ")[0].isdigit()
+
+
+def test_addresses_tied_to_blocks(dataset):
+    grid = CensusGrid("A", rows=4, cols=4, seed=3)
+    block_ids = {b.block_id for b in grid.blocks}
+    assert all(a.block_id in block_ids for a in dataset.addresses)
+
+
+def test_sample_size(dataset):
+    sample = dataset.sample(10, seed=1)
+    assert len(sample) == 10
+
+
+def test_sample_caps_at_dataset_size(dataset):
+    assert len(dataset.sample(10**6)) == len(dataset)
+
+
+def test_sample_without_replacement(dataset):
+    sample = dataset.sample(len(dataset))
+    formatted = [a.formatted for a in sample]
+    assert len(set(formatted)) == len(formatted)
+
+
+def test_sample_deterministic(dataset):
+    a = [x.formatted for x in dataset.sample(5, seed=9)]
+    b = [x.formatted for x in dataset.sample(5, seed=9)]
+    assert a == b
+
+
+def test_negative_sample_rejected(dataset):
+    with pytest.raises(ValueError):
+        dataset.sample(-1)

@@ -1,0 +1,35 @@
+"""Tests for the custom-menu catalog builder."""
+
+import pytest
+
+from repro.market import Plan, catalog_from_menu
+
+
+def test_builds_and_numbers_tiers():
+    catalog = catalog_from_menu("X", [(500, 50), (100, 10)])
+    assert catalog.tiers == (1, 2)
+    assert catalog.plan_for_tier(1).download_mbps == 100
+
+
+def test_upload_groups_derived():
+    catalog = catalog_from_menu(
+        "X", [(100, 10), (200, 10), (900, 40)]
+    )
+    groups = catalog.upload_groups()
+    assert [g.upload_mbps for g in groups] == [10, 40]
+    assert groups[0].tier_label == "Tier 1-2"
+
+
+def test_invalid_menu_rejected():
+    with pytest.raises(ValueError):
+        catalog_from_menu("X", [])
+    with pytest.raises(ValueError):
+        catalog_from_menu("X", [(100, 200)])  # upload > download
+
+
+def test_equivalent_to_manual_catalog():
+    from repro.market import PlanCatalog
+
+    built = catalog_from_menu("X", [(100, 10)])
+    manual = PlanCatalog("X", [Plan(100, 10)])
+    assert built == manual

@@ -1,0 +1,99 @@
+"""Tests for the census grid and Form 477 substrate."""
+
+import pytest
+
+from repro.market.census import (
+    CensusGrid,
+    Form477Dataset,
+    build_city_form477,
+)
+
+
+@pytest.fixture
+def grid():
+    return CensusGrid("A", rows=8, cols=8, seed=1)
+
+
+class TestCensusGrid:
+    def test_block_count(self, grid):
+        assert len(grid) == 64
+
+    def test_block_lookup(self, grid):
+        block = grid.blocks[0]
+        assert grid.block(block.block_id) is block
+
+    def test_unknown_block(self, grid):
+        with pytest.raises(KeyError):
+            grid.block("nope")
+
+    def test_households_positive(self, grid):
+        assert all(b.households >= 1 for b in grid.blocks)
+        assert grid.total_households > 0
+
+    def test_deterministic_per_seed(self):
+        a = CensusGrid("A", rows=4, cols=4, seed=5)
+        b = CensusGrid("A", rows=4, cols=4, seed=5)
+        assert [x.households for x in a.blocks] == [
+            x.households for x in b.blocks
+        ]
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            CensusGrid("A", rows=0, cols=4)
+
+
+class TestForm477:
+    def test_coverage_counts(self, grid):
+        dataset = Form477Dataset(grid)
+        claimed = dataset.add_isp_coverage("Cable", 0.5, 1200, 35)
+        assert claimed == dataset.blocks_covered("Cable")
+        assert 0 < claimed <= len(grid)
+
+    def test_full_coverage(self, grid):
+        dataset = Form477Dataset(grid)
+        assert dataset.add_isp_coverage("Cable", 1.0, 1200, 35) == 64
+
+    def test_double_registration_rejected(self, grid):
+        dataset = Form477Dataset(grid)
+        dataset.add_isp_coverage("Cable", 0.5, 1200, 35)
+        with pytest.raises(ValueError, match="already"):
+            dataset.add_isp_coverage("Cable", 0.5, 1200, 35)
+
+    def test_invalid_fraction(self, grid):
+        dataset = Form477Dataset(grid)
+        with pytest.raises(ValueError):
+            dataset.add_isp_coverage("Cable", 0.0, 1200, 35)
+
+    def test_dominant_isp_selection(self, grid):
+        dataset = Form477Dataset(grid)
+        dataset.add_isp_coverage("Cable", 0.9, 1200, 35)
+        dataset.add_isp_coverage("DSL", 0.3, 100, 10)
+        assert dataset.dominant_isp() == "Cable"
+
+    def test_dominant_requires_coverage(self, grid):
+        with pytest.raises(ValueError):
+            Form477Dataset(grid).dominant_isp()
+
+    def test_unknown_isp_covers_zero(self, grid):
+        assert Form477Dataset(grid).blocks_covered("ghost") == 0
+
+    def test_households_covered(self, grid):
+        dataset = Form477Dataset(grid)
+        dataset.add_isp_coverage("Cable", 1.0, 1200, 35)
+        assert (
+            dataset.households_covered("Cable") == grid.total_households
+        )
+
+    def test_records_exposed(self, grid):
+        dataset = Form477Dataset(grid)
+        dataset.add_isp_coverage("Cable", 0.5, 1200, 35)
+        record = dataset.records[0]
+        assert record.isp_name == "Cable"
+        assert record.max_download_mbps == 1200
+
+
+def test_build_city_form477_selects_dominant_cable():
+    dataset = build_city_form477("A", "ISP-A", seed=2)
+    # Section 3.1: pick the ISP covering the most census blocks.
+    assert dataset.dominant_isp() == "ISP-A"
+    assert set(dataset.isp_names) == {"ISP-A", "DSL-A", "Fiber-A"}

@@ -1,0 +1,81 @@
+"""Tests for the IP geolocation error model."""
+
+import numpy as np
+import pytest
+
+from repro.market.census import CensusGrid
+from repro.market.geo import (
+    GeolocationModel,
+    block_attribution_accuracy,
+)
+
+
+@pytest.fixture
+def grid():
+    return CensusGrid("A", rows=10, cols=10, seed=0)
+
+
+class TestModel:
+    def test_gps_median_scale(self):
+        model = GeolocationModel.gps_truncated()
+        rng = np.random.default_rng(0)
+        offsets = model.sample_offsets_m(4000, rng)
+        radii = np.hypot(offsets[:, 0], offsets[:, 1])
+        assert np.median(radii) == pytest.approx(111.0, rel=0.1)
+
+    def test_ip_median_scale(self):
+        model = GeolocationModel.ip_geolocation()
+        rng = np.random.default_rng(1)
+        offsets = model.sample_offsets_m(4000, rng)
+        radii = np.hypot(offsets[:, 0], offsets[:, 1])
+        assert np.median(radii) == pytest.approx(12_000.0, rel=0.15)
+
+    def test_directions_isotropic(self):
+        model = GeolocationModel.gps_truncated()
+        rng = np.random.default_rng(2)
+        offsets = model.sample_offsets_m(4000, rng)
+        assert abs(np.mean(offsets[:, 0])) < 20
+        assert abs(np.mean(offsets[:, 1])) < 20
+
+    def test_invalid_error(self):
+        with pytest.raises(ValueError):
+            GeolocationModel(median_error_m=0)
+
+    def test_negative_n(self):
+        model = GeolocationModel.gps_truncated()
+        with pytest.raises(ValueError):
+            model.sample_offsets_m(-1, np.random.default_rng(0))
+
+
+class TestAttribution:
+    def test_gps_mostly_correct(self, grid):
+        # 250 m blocks vs ~111 m error: the majority of tests land in
+        # the right block (the paper's Ookla GPS channel).
+        accuracy = block_attribution_accuracy(
+            grid, GeolocationModel.gps_truncated(), seed=3
+        )
+        assert accuracy > 0.5
+
+    def test_ip_geolocation_hopeless(self, grid):
+        # 12 km median error vs 250 m blocks: attribution collapses
+        # (the paper's Section 3.4 ethics argument).
+        accuracy = block_attribution_accuracy(
+            grid, GeolocationModel.ip_geolocation(), seed=3
+        )
+        assert accuracy < 0.05
+
+    def test_gps_beats_ip(self, grid):
+        gps = block_attribution_accuracy(
+            grid, GeolocationModel.gps_truncated(), seed=4
+        )
+        ip = block_attribution_accuracy(
+            grid, GeolocationModel.ip_geolocation(), seed=4
+        )
+        assert gps > ip * 5
+
+    def test_invalid_inputs(self, grid):
+        model = GeolocationModel.gps_truncated()
+        with pytest.raises(ValueError):
+            block_attribution_accuracy(grid, model, tests_per_block=0)
+        with pytest.raises(ValueError):
+            block_attribution_accuracy(grid, model, block_size_m=0)

@@ -1,0 +1,59 @@
+"""Tests for the four city/ISP menus."""
+
+import pytest
+
+from repro.market import CITY_IDS, city_catalog, state_catalog
+
+
+def test_all_four_cities_defined():
+    for city in CITY_IDS:
+        assert city_catalog(city).num_plans >= 5
+
+
+def test_city_a_matches_paper_menu():
+    catalog = city_catalog("A")
+    menu = [(p.download_mbps, p.upload_mbps) for p in catalog.plans]
+    assert menu == [
+        (25, 5),
+        (100, 5),
+        (200, 5),
+        (400, 10),
+        (800, 15),
+        (1200, 35),
+    ]
+
+
+def test_city_a_upload_groups():
+    labels = [g.tier_label for g in city_catalog("A").upload_groups()]
+    assert labels == ["Tier 1-3", "Tier 4", "Tier 5", "Tier 6"]
+
+
+def test_city_b_group_count():
+    assert len(city_catalog("B").upload_groups()) == 4
+
+
+def test_city_c_has_eight_tiers():
+    assert city_catalog("C").tiers == (1, 2, 3, 4, 5, 6, 7, 8)
+
+
+def test_city_d_has_three_upload_groups():
+    assert len(city_catalog("D").upload_groups()) == 3
+
+
+def test_state_a_drops_tier_1():
+    # Section 4.3: no 25/5 subscriber in the MBA State-A panel.
+    assert state_catalog("A").tiers == (2, 3, 4, 5, 6)
+
+
+def test_other_states_keep_all_tiers():
+    for state in ("B", "C", "D"):
+        assert state_catalog(state).tiers == city_catalog(state).tiers
+
+
+def test_unknown_city_rejected():
+    with pytest.raises(KeyError, match="unknown city"):
+        city_catalog("Z")
+
+
+def test_lowercase_accepted():
+    assert city_catalog("a").isp_name == "ISP-A"

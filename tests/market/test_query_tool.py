@@ -1,0 +1,70 @@
+"""Tests for the plan-availability query tool."""
+
+import pytest
+
+from repro.market.addresses import AddressDataset
+from repro.market.census import CensusGrid
+from repro.market.isps import city_catalog
+from repro.market.query_tool import (
+    PlanQueryTool,
+    QueryBudgetExceeded,
+    discover_city_menu,
+)
+
+
+@pytest.fixture
+def addresses():
+    return AddressDataset(CensusGrid("A", rows=4, cols=4, seed=0), seed=0)
+
+
+@pytest.fixture
+def tool():
+    return PlanQueryTool(city_catalog("A"), query_budget=500)
+
+
+def test_query_returns_city_menu(tool, addresses):
+    result = tool.query(addresses.addresses[0])
+    assert result.isp_name == "ISP-A"
+    assert len(result.plans) == 6
+
+
+def test_query_counts_against_budget(tool, addresses):
+    tool.query(addresses.addresses[0])
+    assert tool.queries_issued == 1
+    assert tool.queries_remaining == 499
+
+
+def test_budget_enforced(addresses):
+    tool = PlanQueryTool(city_catalog("A"), query_budget=2)
+    tool.query(addresses.addresses[0])
+    tool.query(addresses.addresses[1])
+    with pytest.raises(QueryBudgetExceeded):
+        tool.query(addresses.addresses[2])
+
+
+def test_zero_budget_rejected():
+    with pytest.raises(ValueError):
+        PlanQueryTool(city_catalog("A"), query_budget=0)
+
+
+def test_discover_city_menu_recovers_catalog(tool, addresses):
+    discovered = discover_city_menu(tool, addresses, sample_size=50, seed=1)
+    assert discovered == city_catalog("A")
+
+
+def test_discover_uses_sampled_queries(tool, addresses):
+    discover_city_menu(tool, addresses, sample_size=30, seed=1)
+    assert tool.queries_issued == 30
+
+
+def test_discover_empty_addresses_rejected(tool):
+    empty = AddressDataset(CensusGrid("A", rows=1, cols=1, seed=0))
+    empty.addresses = ()
+    with pytest.raises(ValueError, match="no addresses"):
+        discover_city_menu(tool, empty, sample_size=10)
+
+
+def test_discover_respects_budget(addresses):
+    tool = PlanQueryTool(city_catalog("A"), query_budget=5)
+    with pytest.raises(QueryBudgetExceeded):
+        discover_city_menu(tool, addresses, sample_size=10)

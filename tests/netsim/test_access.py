@@ -1,0 +1,71 @@
+"""Tests for the access-link and time-of-day models."""
+
+import numpy as np
+import pytest
+
+from repro.market.plans import Plan
+from repro.netsim import AccessLink, timeofday_factor
+
+
+@pytest.fixture
+def plan():
+    return Plan(100, 5, tier=2)
+
+
+class TestAccessLink:
+    def test_overprovisioning_applied(self, plan):
+        link = AccessLink(plan)
+        assert link.download_capacity_mbps > plan.download_mbps
+        assert link.upload_capacity_mbps > plan.upload_mbps
+
+    def test_overprovision_magnitude_matches_mba(self, plan):
+        # Section 4.3: the 100 Mbps tier measures ~110.9 wired.
+        link = AccessLink(plan)
+        assert 105 < link.download_capacity_mbps < 125
+
+    def test_household_factor_scales(self, plan):
+        base = AccessLink(plan).download_capacity_mbps
+        more = AccessLink(plan, household_factor=1.1).download_capacity_mbps
+        assert more == pytest.approx(base * 1.1)
+
+    def test_invalid_factor(self, plan):
+        with pytest.raises(ValueError):
+            AccessLink(plan, household_factor=0.0)
+
+    def test_invalid_overprovision(self, plan):
+        with pytest.raises(ValueError):
+            AccessLink(plan, overprovision_download=0)
+
+    def test_for_household_sampling_bounded(self, plan):
+        rng = np.random.default_rng(0)
+        factors = [
+            AccessLink.for_household(plan, rng).household_factor
+            for _ in range(300)
+        ]
+        assert all(0.85 <= f <= 1.15 for f in factors)
+
+    def test_for_household_deterministic_per_rng(self, plan):
+        a = AccessLink.for_household(plan, np.random.default_rng(5))
+        b = AccessLink.for_household(plan, np.random.default_rng(5))
+        assert a.household_factor == b.household_factor
+
+
+class TestTimeOfDay:
+    def test_overnight_full_capacity(self):
+        assert timeofday_factor(3) == 1.0
+
+    def test_daytime_discounted(self):
+        assert timeofday_factor(14) < 1.0
+
+    def test_discount_is_marginal(self):
+        # Section 6.2: the effect is small (~10%), not dominant.
+        assert timeofday_factor(20) > 0.85
+
+    def test_invalid_hour(self):
+        with pytest.raises(ValueError):
+            timeofday_factor(24)
+
+    def test_noise_bounded(self):
+        rng = np.random.default_rng(0)
+        values = [timeofday_factor(12, rng) for _ in range(300)]
+        assert all(0.6 <= v <= 1.0 for v in values)

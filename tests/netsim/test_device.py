@@ -1,0 +1,51 @@
+"""Tests for the device memory model."""
+
+import pytest
+
+from repro.netsim import device_memory_cap_mbps
+from repro.netsim.device import memory_bin_label
+
+
+def test_cap_monotone_in_memory():
+    caps = [device_memory_cap_mbps(m) for m in (0.5, 1, 2, 4, 8, 16)]
+    assert caps == sorted(caps)
+
+
+def test_low_memory_sharply_capped():
+    # The Figure 9d effect: a ~1 GB device cannot carry mid-tier plans.
+    assert device_memory_cap_mbps(1.0) < 100
+
+
+def test_high_memory_effectively_uncapped():
+    assert device_memory_cap_mbps(8.0) > 1000
+
+
+def test_invalid_memory():
+    with pytest.raises(ValueError):
+        device_memory_cap_mbps(0.0)
+    with pytest.raises(ValueError):
+        device_memory_cap_mbps(-1.0)
+
+
+def test_custom_coefficients():
+    assert device_memory_cap_mbps(2.0, coefficient=10, exponent=1.0) == 20
+
+
+@pytest.mark.parametrize(
+    "memory,label",
+    [
+        (1.0, "< 2 GB"),
+        (2.0, "2 GB - 4 GB"),
+        (3.9, "2 GB - 4 GB"),
+        (4.0, "4 GB - 6 GB"),
+        (6.0, "> 6 GB"),
+        (12.0, "> 6 GB"),
+    ],
+)
+def test_memory_bin_labels(memory, label):
+    assert memory_bin_label(memory) == label
+
+
+def test_memory_bin_invalid():
+    with pytest.raises(ValueError):
+        memory_bin_label(0.0)

@@ -1,0 +1,81 @@
+"""Tests for the latency/loss model."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import LatencyModel
+
+
+@pytest.fixture
+def model():
+    return LatencyModel()
+
+
+def test_rtt_positive(model):
+    rng = np.random.default_rng(0)
+    assert all(model.sample_rtt_ms(rng) >= 1.0 for _ in range(200))
+
+
+def test_rtt_median_near_configured(model):
+    rng = np.random.default_rng(1)
+    rtts = [model.sample_rtt_ms(rng) for _ in range(3000)]
+    assert np.median(rtts) == pytest.approx(12.0, rel=0.1)
+
+
+def test_wifi_adds_delay(model):
+    rng_a = np.random.default_rng(2)
+    rng_b = np.random.default_rng(2)
+    wired = [model.sample_rtt_ms(rng_a, on_wifi=False) for _ in range(500)]
+    wifi = [model.sample_rtt_ms(rng_b, on_wifi=True) for _ in range(500)]
+    assert np.median(wifi) > np.median(wired)
+
+
+def test_loss_bounded(model):
+    rng = np.random.default_rng(3)
+    losses = [model.sample_loss(rng) for _ in range(500)]
+    assert all(1e-7 <= loss <= 0.05 for loss in losses)
+
+
+def test_wifi_adds_loss(model):
+    rng_a = np.random.default_rng(4)
+    rng_b = np.random.default_rng(4)
+    wired = [model.sample_loss(rng_a, on_wifi=False) for _ in range(800)]
+    wifi = [model.sample_loss(rng_b, on_wifi=True) for _ in range(800)]
+    assert np.median(wifi) > np.median(wired)
+
+
+def test_24ghz_band_adds_more_delay(model):
+    rng_a = np.random.default_rng(5)
+    rng_b = np.random.default_rng(5)
+    fast = [
+        model.sample_rtt_ms(rng_a, on_wifi=True, band_ghz=5.0)
+        for _ in range(600)
+    ]
+    slow = [
+        model.sample_rtt_ms(rng_b, on_wifi=True, band_ghz=2.4)
+        for _ in range(600)
+    ]
+    assert np.median(slow) > np.median(fast)
+
+
+def test_band_ignored_for_wired(model):
+    rng_a = np.random.default_rng(6)
+    rng_b = np.random.default_rng(6)
+    a = model.sample_rtt_ms(rng_a, on_wifi=False, band_ghz=2.4)
+    b = model.sample_rtt_ms(rng_b, on_wifi=False, band_ghz=5.0)
+    assert a == b
+
+
+def test_invalid_rtt_config():
+    with pytest.raises(ValueError):
+        LatencyModel(median_rtt_ms=0)
+
+
+def test_invalid_loss_config():
+    with pytest.raises(ValueError):
+        LatencyModel(median_loss=0.0)
+
+
+def test_frozen_dataclass(model):
+    with pytest.raises(AttributeError):
+        model.median_rtt_ms = 5.0

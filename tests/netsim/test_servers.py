@@ -1,0 +1,67 @@
+"""Tests for the measurement server pool model."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.servers import MLAB_POOL, OOKLA_POOL, ServerPool
+
+
+def test_denser_pool_is_closer():
+    assert OOKLA_POOL.typical_distance_km < MLAB_POOL.typical_distance_km
+
+
+def test_denser_pool_has_lower_rtt():
+    assert OOKLA_POOL.median_rtt_ms() < MLAB_POOL.median_rtt_ms()
+
+
+def test_rtts_metro_scale():
+    for pool in (OOKLA_POOL, MLAB_POOL):
+        assert 5.0 < pool.median_rtt_ms() < 40.0
+
+
+def test_distance_scales_inverse_sqrt():
+    small = ServerPool("small", 100)
+    large = ServerPool("large", 10_000)
+    assert small.typical_distance_km == pytest.approx(
+        large.typical_distance_km * 10
+    )
+
+
+def test_sampled_distances_positive_and_scaled():
+    rng = np.random.default_rng(0)
+    distances = OOKLA_POOL.sample_distance_km(rng, 4000)
+    assert (distances > 0).all()
+    assert np.mean(distances) == pytest.approx(
+        OOKLA_POOL.typical_distance_km, rel=0.1
+    )
+
+
+def test_latency_model_kwargs_roundtrip():
+    from repro.netsim import LatencyModel
+
+    model = LatencyModel(**MLAB_POOL.latency_model_kwargs())
+    assert model.median_rtt_ms == pytest.approx(
+        MLAB_POOL.median_rtt_ms()
+    )
+
+
+def test_invalid_pool():
+    with pytest.raises(ValueError):
+        ServerPool("empty", 0)
+
+
+def test_invalid_sample_size():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ValueError):
+        OOKLA_POOL.sample_distance_km(rng, 0)
+
+
+def test_vendors_use_their_pools():
+    from repro.vendors import MLabSimulator, OoklaSimulator
+
+    ookla = OoklaSimulator("A", seed=0)
+    mlab = MLabSimulator("A", seed=0)
+    assert (
+        ookla.path.latency_model.median_rtt_ms
+        < mlab.path.latency_model.median_rtt_ms
+    )

@@ -1,0 +1,120 @@
+"""Tests for the TCP throughput model."""
+
+import math
+
+import pytest
+
+from repro.netsim import (
+    flow_throughput_mbps,
+    mathis_throughput_mbps,
+    multi_flow_throughput_mbps,
+    saturation_efficiency,
+    window_limited_throughput_mbps,
+)
+
+
+class TestMathis:
+    def test_known_value(self):
+        # MSS 1460 B, RTT 100 ms, loss 1%: ~1.42 Mbps.
+        rate = mathis_throughput_mbps(100.0, 0.01)
+        assert rate == pytest.approx(1.425, rel=0.01)
+
+    def test_decreases_with_rtt(self):
+        assert mathis_throughput_mbps(50, 1e-4) > mathis_throughput_mbps(
+            100, 1e-4
+        )
+
+    def test_decreases_with_loss(self):
+        assert mathis_throughput_mbps(20, 1e-5) > mathis_throughput_mbps(
+            20, 1e-3
+        )
+
+    def test_zero_loss_unbounded(self):
+        assert math.isinf(mathis_throughput_mbps(20, 0.0))
+
+    def test_invalid_rtt(self):
+        with pytest.raises(ValueError):
+            mathis_throughput_mbps(0, 1e-4)
+
+    def test_invalid_loss(self):
+        with pytest.raises(ValueError):
+            mathis_throughput_mbps(20, 1.5)
+
+
+class TestWindowLimit:
+    def test_known_value(self):
+        # 64 KB window, 100 ms RTT: ~5.2 Mbps.
+        rate = window_limited_throughput_mbps(64 * 1024, 100.0)
+        assert rate == pytest.approx(5.24, rel=0.01)
+
+    def test_scales_with_window(self):
+        small = window_limited_throughput_mbps(64 * 1024, 20)
+        large = window_limited_throughput_mbps(4 * 1024 * 1024, 20)
+        assert large == pytest.approx(small * 64, rel=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            window_limited_throughput_mbps(0, 10)
+        with pytest.raises(ValueError):
+            window_limited_throughput_mbps(1024, 0)
+
+
+class TestFlowThroughput:
+    def test_min_of_both_limits(self):
+        # Tiny window: window-limited.
+        windowed = flow_throughput_mbps(20, 1e-6, window_bytes=64 * 1024)
+        assert windowed == pytest.approx(
+            window_limited_throughput_mbps(64 * 1024, 20)
+        )
+        # Big window, high loss: Mathis-limited.
+        lossy = flow_throughput_mbps(20, 1e-2, window_bytes=64 * 1024 * 1024)
+        assert lossy == pytest.approx(mathis_throughput_mbps(20, 1e-2))
+
+
+class TestMultiFlow:
+    def test_capacity_never_exceeded(self):
+        rate = multi_flow_throughput_mbps(100.0, 64, 10.0, 1e-6)
+        assert rate <= 100.0
+
+    def test_flows_aggregate(self):
+        one = multi_flow_throughput_mbps(10_000.0, 1, 20.0, 1e-4)
+        eight = multi_flow_throughput_mbps(10_000.0, 8, 20.0, 1e-4)
+        assert eight == pytest.approx(one * 8, rel=1e-9)
+
+    def test_single_flow_underperforms_on_fast_path(self):
+        # The Section 6.3 effect: on a gigabit path with realistic loss,
+        # one flow cannot fill the pipe but eight can.
+        single = multi_flow_throughput_mbps(1000.0, 1, 15.0, 3e-5)
+        multi = multi_flow_throughput_mbps(1000.0, 8, 15.0, 3e-5)
+        assert single < 0.6 * multi
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            multi_flow_throughput_mbps(0, 1, 10, 1e-4)
+        with pytest.raises(ValueError):
+            multi_flow_throughput_mbps(100, 0, 10, 1e-4)
+
+
+class TestSaturationEfficiency:
+    def test_low_rates_nearly_full(self):
+        assert saturation_efficiency(100.0) > 0.97
+
+    def test_monotone_decreasing(self):
+        rates = [50, 200, 500, 900, 1400]
+        effs = [saturation_efficiency(r) for r in rates]
+        assert effs == sorted(effs, reverse=True)
+
+    def test_matches_mba_gigabit_shortfall(self):
+        # Section 4.3: the 1200 Mbps plan (shaped ~1380) measures ~892,
+        # i.e. ~65% of the shaped rate.
+        eff = saturation_efficiency(1380.0)
+        assert 0.6 < eff < 0.75
+
+    def test_floor_respected(self):
+        assert saturation_efficiency(10_000.0) == pytest.approx(0.65)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            saturation_efficiency(0)
+        with pytest.raises(ValueError):
+            saturation_efficiency(100, max_deficit=1.5)

@@ -1,0 +1,96 @@
+"""Tests for the time-stepped transfer simulator."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.transfer import (
+    derived_methodology_efficiency,
+    simulate_transfer,
+)
+
+
+class TestSimulateTransfer:
+    def test_never_exceeds_capacity(self):
+        result = simulate_transfer(100.0, 15.0, 1e-5, n_flows=8, seed=1)
+        assert (result.samples_mbps <= 100.0 + 1e-9).all()
+
+    def test_reported_positive_and_bounded(self):
+        result = simulate_transfer(500.0, 20.0, 1e-5, n_flows=4, seed=2)
+        assert 0 < result.reported_mbps <= 500.0
+
+    def test_slow_start_ramp_visible(self):
+        result = simulate_transfer(800.0, 20.0, 1e-6, n_flows=1, seed=3)
+        # The first sample is the initial window's rate -- far below
+        # steady state.
+        assert result.samples_mbps[0] < result.samples_mbps[-1]
+        assert result.ramp_seconds > 0
+
+    def test_discard_ramp_reports_higher(self):
+        kwargs = dict(
+            capacity_mbps=600.0, rtt_ms=25.0, loss_rate=1e-5,
+            n_flows=1, duration_s=8.0, seed=4,
+        )
+        with_ramp = simulate_transfer(discard_ramp=False, **kwargs)
+        without_ramp = simulate_transfer(discard_ramp=True, **kwargs)
+        assert without_ramp.reported_mbps >= with_ramp.reported_mbps
+
+    def test_more_flows_fill_fast_paths(self):
+        single = simulate_transfer(
+            1000.0, 15.0, 3e-5, n_flows=1, seed=5
+        ).reported_mbps
+        multi = simulate_transfer(
+            1000.0, 15.0, 3e-5, n_flows=8, seed=5
+        ).reported_mbps
+        assert multi > single * 1.3
+
+    def test_loss_hurts_throughput(self):
+        clean = simulate_transfer(
+            800.0, 15.0, 1e-6, n_flows=1, seed=6
+        ).reported_mbps
+        lossy = simulate_transfer(
+            800.0, 15.0, 3e-4, n_flows=1, seed=6
+        ).reported_mbps
+        assert lossy < clean
+
+    def test_deterministic_per_seed(self):
+        a = simulate_transfer(300.0, 15.0, 1e-5, seed=7)
+        b = simulate_transfer(300.0, 15.0, 1e-5, seed=7)
+        assert np.array_equal(a.samples_mbps, b.samples_mbps)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            simulate_transfer(0, 15, 1e-5)
+        with pytest.raises(ValueError):
+            simulate_transfer(100, 0, 1e-5)
+        with pytest.raises(ValueError):
+            simulate_transfer(100, 15, 1.5)
+        with pytest.raises(ValueError):
+            simulate_transfer(100, 15, 1e-5, n_flows=0)
+        with pytest.raises(ValueError):
+            simulate_transfer(100, 15, 1e-5, duration_s=0)
+
+
+class TestDerivedEfficiency:
+    def test_single_flow_efficiency_drops_with_capacity(self):
+        low = derived_methodology_efficiency(100.0, n_flows=1)
+        high = derived_methodology_efficiency(1200.0, n_flows=1)
+        assert high < low
+
+    def test_multi_flow_stays_high(self):
+        eff = derived_methodology_efficiency(
+            1200.0, n_flows=8, duration_s=15.0, discard_ramp=True
+        )
+        assert eff > 0.8
+
+    def test_matches_paper_vendor_gap_shape(self):
+        # At 400 Mbps the single-flow test reports well below the
+        # multi-flow test -- the Section 6.3 mechanism.
+        single = derived_methodology_efficiency(400.0, n_flows=1)
+        multi = derived_methodology_efficiency(
+            400.0, n_flows=8, duration_s=15.0, discard_ramp=True
+        )
+        assert multi > single * 1.1
+
+    def test_invalid_runs(self):
+        with pytest.raises(ValueError):
+            derived_methodology_efficiency(100.0, n_runs=0)

@@ -1,0 +1,96 @@
+"""Tests for the WiFi link model."""
+
+import numpy as np
+import pytest
+
+from repro.netsim import (
+    wifi_mac_efficiency,
+    wifi_phy_rate_mbps,
+    wifi_throughput_cap_mbps,
+)
+from repro.netsim.wifi import sample_contention_factor
+
+
+class TestPhyRates:
+    def test_5ghz_exceeds_24ghz_at_good_rssi(self):
+        assert wifi_phy_rate_mbps(5.0, -45) > wifi_phy_rate_mbps(2.4, -45)
+
+    def test_rate_monotone_in_rssi(self):
+        rssis = np.linspace(-85, -35, 20)
+        for band in (2.4, 5.0):
+            rates = [wifi_phy_rate_mbps(band, r) for r in rssis]
+            assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_clamps_beyond_table(self):
+        assert wifi_phy_rate_mbps(5.0, -20) == wifi_phy_rate_mbps(5.0, -40)
+        assert wifi_phy_rate_mbps(5.0, -95) == wifi_phy_rate_mbps(5.0, -87)
+
+    def test_interpolation_between_anchors(self):
+        mid = wifi_phy_rate_mbps(5.0, -52.5)
+        assert (
+            wifi_phy_rate_mbps(5.0, -55)
+            < mid
+            < wifi_phy_rate_mbps(5.0, -50)
+        )
+
+    def test_unknown_band(self):
+        with pytest.raises(ValueError):
+            wifi_phy_rate_mbps(6.0, -50)
+
+
+class TestMacEfficiency:
+    def test_5ghz_more_efficient(self):
+        assert wifi_mac_efficiency(5.0) > wifi_mac_efficiency(2.4)
+
+    def test_unknown_band(self):
+        with pytest.raises(ValueError):
+            wifi_mac_efficiency(3.6)
+
+
+class TestContention:
+    def test_range_5ghz(self):
+        rng = np.random.default_rng(0)
+        factors = [sample_contention_factor(5.0, rng) for _ in range(200)]
+        assert all(0.45 <= f <= 0.95 for f in factors)
+
+    def test_24ghz_worse_on_average(self):
+        rng = np.random.default_rng(1)
+        f24 = np.mean(
+            [sample_contention_factor(2.4, rng) for _ in range(500)]
+        )
+        f5 = np.mean(
+            [sample_contention_factor(5.0, rng) for _ in range(500)]
+        )
+        assert f24 < f5
+
+    def test_unknown_band(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_contention_factor(60.0, rng)
+
+
+class TestThroughputCap:
+    def test_good_5ghz_supports_hundreds_of_mbps(self):
+        cap = wifi_throughput_cap_mbps(5.0, -45, contention_factor=0.9)
+        assert cap > 300
+
+    def test_24ghz_band_caps_under_100(self):
+        # The Figure 9b effect: 2.4 GHz cannot carry high-tier plans.
+        cap = wifi_throughput_cap_mbps(2.4, -45, contention_factor=0.85)
+        assert cap < 100
+
+    def test_poor_rssi_collapses_throughput(self):
+        good = wifi_throughput_cap_mbps(5.0, -45, 0.8)
+        poor = wifi_throughput_cap_mbps(5.0, -80, 0.8)
+        assert poor < good / 5
+
+    def test_contention_scales_linearly(self):
+        full = wifi_throughput_cap_mbps(5.0, -50, 1.0)
+        half = wifi_throughput_cap_mbps(5.0, -50, 0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_invalid_contention(self):
+        with pytest.raises(ValueError):
+            wifi_throughput_cap_mbps(5.0, -50, 0.0)
+        with pytest.raises(ValueError):
+            wifi_throughput_cap_mbps(5.0, -50, 1.5)

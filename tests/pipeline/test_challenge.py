@@ -1,0 +1,148 @@
+"""Tests for challenge-process triage."""
+
+import numpy as np
+import pytest
+
+from repro.frame import ColumnTable
+from repro.pipeline import ChallengeConfig, classify_tests
+from repro.pipeline.challenge import CATEGORIES
+
+
+def _ctx_table(rows):
+    """rows: (download, normalized, band, rssi, memory)."""
+    return ColumnTable(
+        {
+            "download_mbps": [float(r[0]) for r in rows],
+            "normalized_download": [float(r[1]) for r in rows],
+            "wifi_band_ghz": [float(r[2]) for r in rows],
+            "rssi_dbm": [float(r[3]) for r in rows],
+            "memory_gb": [float(r[4]) for r in rows],
+        }
+    )
+
+
+class TestClassification:
+    def test_meets_plan(self):
+        table = _ctx_table([(110, 1.1, 5.0, -45, 8)])
+        summary = classify_tests(table)
+        assert summary.table["challenge_category"][0] == "meets-plan"
+
+    def test_plan_limited(self):
+        # 22 Mbps on a 25 Mbps plan: slow in absolute terms, as sold.
+        table = _ctx_table([(22, 0.88, 5.0, -45, 8)])
+        summary = classify_tests(table)
+        assert summary.table["challenge_category"][0] == "plan-limited"
+
+    def test_local_bottleneck_band(self):
+        table = _ctx_table([(40, 0.1, 2.4, -45, 8)])
+        summary = classify_tests(table)
+        assert (
+            summary.table["challenge_category"][0] == "local-bottleneck"
+        )
+
+    def test_local_bottleneck_rssi(self):
+        table = _ctx_table([(40, 0.1, 5.0, -80, 8)])
+        summary = classify_tests(table)
+        assert (
+            summary.table["challenge_category"][0] == "local-bottleneck"
+        )
+
+    def test_local_bottleneck_memory(self):
+        table = _ctx_table([(40, 0.1, 5.0, -45, 1.0)])
+        summary = classify_tests(table)
+        assert (
+            summary.table["challenge_category"][0] == "local-bottleneck"
+        )
+
+    def test_challenge_worthy(self):
+        table = _ctx_table([(40, 0.1, 5.0, -45, 8)])
+        summary = classify_tests(table)
+        assert (
+            summary.table["challenge_category"][0] == "challenge-worthy"
+        )
+
+    def test_missing_metadata_defaults_to_challenge_worthy(self):
+        table = ColumnTable(
+            {
+                "download_mbps": [40.0],
+                "normalized_download": [0.1],
+            }
+        )
+        summary = classify_tests(table)
+        assert (
+            summary.table["challenge_category"][0] == "challenge-worthy"
+        )
+
+    def test_counts_sum(self):
+        table = _ctx_table(
+            [
+                (110, 1.1, 5.0, -45, 8),
+                (22, 0.88, 5.0, -45, 8),
+                (40, 0.1, 2.4, -45, 8),
+                (40, 0.1, 5.0, -45, 8),
+            ]
+        )
+        summary = classify_tests(table)
+        assert sum(summary.counts.values()) == 4
+        assert summary.n_tests == 4
+
+    def test_share_and_rows(self):
+        table = _ctx_table(
+            [(40, 0.1, 5.0, -45, 8), (110, 1.1, 5.0, -45, 8)]
+        )
+        summary = classify_tests(table)
+        assert summary.share("challenge-worthy") == 0.5
+        assert len(summary.challenge_rows()) == 1
+
+    def test_unknown_category_rejected(self):
+        table = _ctx_table([(110, 1.1, 5.0, -45, 8)])
+        with pytest.raises(KeyError):
+            classify_tests(table).share("bogus")
+
+
+class TestConfigAndInputs:
+    def test_requires_contextualised_table(self):
+        with pytest.raises(KeyError, match="contextualised"):
+            classify_tests(ColumnTable({"download_mbps": [1.0]}))
+
+    def test_requires_download_column(self):
+        with pytest.raises(KeyError, match="download_mbps"):
+            classify_tests(ColumnTable({"normalized_download": [1.0]}))
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            ChallengeConfig(underperformance_ratio=0.0)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ChallengeConfig(slow_threshold_mbps=-1)
+
+    def test_custom_thresholds_shift_categories(self):
+        table = _ctx_table([(40, 0.55, 5.0, -45, 8)])
+        default = classify_tests(table)
+        strict = classify_tests(
+            table, ChallengeConfig(underperformance_ratio=0.6)
+        )
+        assert default.table["challenge_category"][0] == "meets-plan"
+        assert (
+            strict.table["challenge_category"][0] == "challenge-worthy"
+        )
+
+
+class TestOnSimulatedCity:
+    def test_category_mix(self, ookla_ctx_a):
+        summary = classify_tests(ookla_ctx_a.table)
+        assert set(summary.counts) <= set(CATEGORIES)
+        # The paper's story: a visible slice of slow tests are merely
+        # plan-limited or locally bottlenecked -- and because only
+        # Android rows carry local metadata, most under-performing
+        # tests cannot be excused (exactly why Section 8 recommends
+        # collecting the metadata everywhere).
+        assert summary.share("local-bottleneck") > 0.01
+        assert summary.share("plan-limited") > 0.05
+        assert summary.share("meets-plan") > 0.2
+        assert summary.share("challenge-worthy") > 0.2
+
+    def test_augmented_column_added_not_mutated(self, ookla_ctx_a):
+        classify_tests(ookla_ctx_a.table)
+        assert "challenge_category" not in ookla_ctx_a.table

@@ -1,0 +1,77 @@
+"""Tests for the city dossier composite report."""
+
+import pytest
+
+from repro.pipeline.dossier import city_dossier
+
+
+@pytest.fixture(scope="module")
+def dossier_text(request):
+    ctx = request.getfixturevalue("ookla_ctx_a")
+    return city_dossier(ctx, city_label="City-A")
+
+
+def test_title_and_count(dossier_text, ookla_ctx_a):
+    assert "City-A" in dossier_text
+    assert str(len(ookla_ctx_a.table)) in dossier_text
+
+
+def test_all_sections_present(dossier_text):
+    for heading in (
+        "headline medians",
+        "subscription mix",
+        "local factors",
+        "challenge triage",
+        "metadata: interpretability",
+    ):
+        assert heading in dossier_text, heading
+
+
+def test_every_tier_group_listed(dossier_text, ookla_ctx_a):
+    for label in ookla_ctx_a.group_labels:
+        assert label in dossier_text
+
+
+def test_recommendations_enumerated(dossier_text):
+    assert "1. " in dossier_text
+
+
+def test_default_label_uses_isp(ookla_ctx_a):
+    text = city_dossier(ookla_ctx_a)
+    assert "ISP-A" in text
+
+
+def test_mlab_dossier_skips_device_sections(mlab_ctx_a):
+    text = city_dossier(mlab_ctx_a, city_label="City-A (M-Lab)")
+    # NDT data has no platform/access columns: local factors omitted,
+    # the rest still renders.
+    assert "local factors" not in text
+    assert "challenge triage" in text
+
+
+def test_catalog_from_menu_integration():
+    """A custom-menu catalog flows through the whole dossier path."""
+    import numpy as np
+
+    from repro.frame import ColumnTable
+    from repro.market import catalog_from_menu
+    from repro.pipeline import contextualize
+
+    catalog = catalog_from_menu(
+        "Custom-ISP", [(100, 10), (500, 50)]
+    )
+    rng = np.random.default_rng(0)
+    table = ColumnTable(
+        {
+            "download_mbps": np.concatenate(
+                [rng.normal(105, 8, 150), rng.normal(520, 30, 150)]
+            ),
+            "upload_mbps": np.concatenate(
+                [rng.normal(11, 0.6, 150), rng.normal(54, 2.5, 150)]
+            ),
+        }
+    )
+    ctx = contextualize(table, catalog)
+    text = city_dossier(ctx)
+    assert "Custom-ISP" in text
+    assert set(ctx.table["bst_tier"].tolist()) == {1, 2}

@@ -1,0 +1,72 @@
+"""Tests for the metadata audit / recommendations module."""
+
+import numpy as np
+import pytest
+
+from repro.frame import ColumnTable
+from repro.pipeline import CONTEXT_FIELDS, audit_metadata, recommend
+
+
+def test_field_weights_sum_to_one():
+    assert sum(f.weight for f in CONTEXT_FIELDS) == pytest.approx(1.0)
+
+
+def test_empty_table_scores_zero():
+    audit = audit_metadata(ColumnTable())
+    assert audit.interpretability == 0.0
+    assert len(audit.missing_fields()) == len(CONTEXT_FIELDS)
+
+
+def test_fully_contextualised_table_scores_high(ookla_ctx_a):
+    audit = audit_metadata(ookla_ctx_a.table)
+    # Tier/access/origin fully covered; band/RSSI/memory only on
+    # Android rows (~9% of tests), so the score is partial but > 0.5.
+    assert audit.interpretability > 0.5
+    assert "subscription plan" not in audit.missing_fields()
+
+
+def test_raw_mlab_table_scores_low(mlab_joined_a):
+    audit = audit_metadata(mlab_joined_a)
+    # NDT carries no plan, device, or access context.
+    assert audit.interpretability < 0.2
+    missing = audit.missing_fields()
+    assert "subscription plan" in missing
+    assert "access link type" in missing
+
+
+def test_coverage_counts_unknown_as_missing():
+    table = ColumnTable({"access": ["wifi", "unknown", "ethernet"]})
+    audit = audit_metadata(table)
+    access = next(
+        fp for fp in audit.fields if fp.field.column == "access"
+    )
+    assert access.coverage == pytest.approx(2 / 3)
+
+
+def test_nan_counts_as_missing():
+    table = ColumnTable({"rssi_dbm": [np.nan, -50.0]})
+    audit = audit_metadata(table)
+    rssi = next(
+        fp for fp in audit.fields if fp.field.column == "rssi_dbm"
+    )
+    assert rssi.coverage == pytest.approx(0.5)
+
+
+def test_recommend_orders_by_weight():
+    audit = audit_metadata(ColumnTable({"x": [1]}))
+    recs = recommend(audit)
+    assert len(recs) == len(CONTEXT_FIELDS)
+    # The subscription-plan recommendation (weight 0.30) comes first.
+    assert "subscription plan" in recs[0] or "infer it" in recs[0]
+
+
+def test_recommend_skips_covered_fields(ookla_ctx_a):
+    audit = audit_metadata(ookla_ctx_a.table)
+    recs = recommend(audit)
+    assert all("subscription plan" not in r for r in recs)
+
+
+def test_interpretability_bounded(ookla_ctx_a, mlab_joined_a):
+    for table in (ookla_ctx_a.table, mlab_joined_a):
+        score = audit_metadata(table).interpretability
+        assert 0.0 <= score <= 1.0

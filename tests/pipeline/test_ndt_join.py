@@ -1,0 +1,145 @@
+"""Tests for the 120-second NDT upload/download association."""
+
+import numpy as np
+import pytest
+
+from repro.frame import ColumnTable
+from repro.pipeline import join_ndt_tests
+
+
+def _ndt(rows):
+    """rows: (direction, client, server, t, speed)."""
+    return ColumnTable(
+        {
+            "test_id": [f"t{i}" for i in range(len(rows))],
+            "direction": [r[0] for r in rows],
+            "client_ip": [r[1] for r in rows],
+            "server_ip": [r[2] for r in rows],
+            "timestamp_s": [float(r[3]) for r in rows],
+            "speed_mbps": [float(r[4]) for r in rows],
+        }
+    )
+
+
+def test_basic_pairing():
+    table = _ndt(
+        [
+            ("download", "c1", "s1", 100, 200.0),
+            ("upload", "c1", "s1", 130, 11.0),
+        ]
+    )
+    joined = join_ndt_tests(table)
+    assert len(joined) == 1
+    assert joined["download_mbps"][0] == 200.0
+    assert joined["upload_mbps"][0] == 11.0
+
+
+def test_earliest_upload_wins():
+    table = _ndt(
+        [
+            ("download", "c1", "s1", 100, 200.0),
+            ("upload", "c1", "s1", 160, 12.0),
+            ("upload", "c1", "s1", 120, 11.0),
+        ]
+    )
+    joined = join_ndt_tests(table)
+    assert joined["upload_mbps"][0] == 11.0
+
+
+def test_window_boundary_inclusive():
+    table = _ndt(
+        [
+            ("download", "c1", "s1", 100, 200.0),
+            ("upload", "c1", "s1", 220, 11.0),
+        ]
+    )
+    assert len(join_ndt_tests(table, window_s=120)) == 1
+
+
+def test_upload_outside_window_dropped():
+    table = _ndt(
+        [
+            ("download", "c1", "s1", 100, 200.0),
+            ("upload", "c1", "s1", 221, 11.0),
+        ]
+    )
+    assert len(join_ndt_tests(table, window_s=120)) == 0
+
+
+def test_upload_before_download_not_matched():
+    table = _ndt(
+        [
+            ("download", "c1", "s1", 100, 200.0),
+            ("upload", "c1", "s1", 99, 11.0),
+        ]
+    )
+    assert len(join_ndt_tests(table)) == 0
+
+
+def test_client_ip_must_match():
+    table = _ndt(
+        [
+            ("download", "c1", "s1", 100, 200.0),
+            ("upload", "c2", "s1", 110, 11.0),
+        ]
+    )
+    assert len(join_ndt_tests(table)) == 0
+
+
+def test_server_ip_must_match():
+    table = _ndt(
+        [
+            ("download", "c1", "s1", 100, 200.0),
+            ("upload", "c1", "s2", 110, 11.0),
+        ]
+    )
+    assert len(join_ndt_tests(table)) == 0
+
+
+def test_multiple_downloads_share_upload_candidates():
+    # Two downloads, one upload in both windows: both may claim it (the
+    # paper associates per-download independently).
+    table = _ndt(
+        [
+            ("download", "c1", "s1", 100, 200.0),
+            ("download", "c1", "s1", 110, 210.0),
+            ("upload", "c1", "s1", 115, 11.0),
+        ]
+    )
+    joined = join_ndt_tests(table)
+    assert len(joined) == 2
+
+
+def test_direction_column_removed():
+    table = _ndt(
+        [
+            ("download", "c1", "s1", 100, 200.0),
+            ("upload", "c1", "s1", 110, 11.0),
+        ]
+    )
+    joined = join_ndt_tests(table)
+    assert "direction" not in joined
+    assert "speed_mbps" not in joined
+
+
+def test_missing_columns_rejected():
+    table = ColumnTable({"direction": ["download"]})
+    with pytest.raises(KeyError, match="missing"):
+        join_ndt_tests(table)
+
+
+def test_invalid_window():
+    table = _ndt([("download", "c1", "s1", 100, 200.0)])
+    with pytest.raises(ValueError):
+        join_ndt_tests(table, window_s=0)
+
+
+def test_empty_table():
+    table = _ndt([])
+    assert len(join_ndt_tests(table)) == 0
+
+
+def test_simulator_join_rate(mlab_raw_a, mlab_joined_a):
+    downloads = int((mlab_raw_a["direction"] == "download").sum())
+    # ~92% of sessions emit an in-window upload.
+    assert 0.85 < len(mlab_joined_a) / downloads <= 1.0

@@ -1,0 +1,115 @@
+"""Property-based tests of the NDT 120-second join."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import ColumnTable
+from repro.pipeline import join_ndt_tests
+
+
+@st.composite
+def ndt_tables(draw):
+    """Random direction-separated NDT record sets."""
+    n = draw(st.integers(min_value=0, max_value=60))
+    directions = draw(
+        st.lists(
+            st.sampled_from(["download", "upload"]),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    clients = draw(
+        st.lists(
+            st.sampled_from(["c1", "c2", "c3"]), min_size=n, max_size=n
+        )
+    )
+    servers = draw(
+        st.lists(st.sampled_from(["s1", "s2"]), min_size=n, max_size=n)
+    )
+    times = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=5000, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    speeds = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=1000, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return ColumnTable(
+        {
+            "test_id": [f"t{i}" for i in range(n)],
+            "direction": directions,
+            "client_ip": clients,
+            "server_ip": servers,
+            "timestamp_s": times,
+            "speed_mbps": speeds,
+        }
+    )
+
+
+@given(ndt_tables())
+@settings(max_examples=60, deadline=None)
+def test_join_never_exceeds_download_count(table):
+    joined = join_ndt_tests(table)
+    downloads = int((table["direction"] == "download").sum()) if len(
+        table
+    ) else 0
+    assert len(joined) <= downloads
+
+
+@given(ndt_tables())
+@settings(max_examples=60, deadline=None)
+def test_joined_upload_is_a_real_matching_record(table):
+    joined = join_ndt_tests(table)
+    uploads = table.filter(table["direction"] == "upload") if len(
+        table
+    ) else table
+    for i in range(len(joined)):
+        row = joined.row(i)
+        candidates = [
+            j
+            for j in range(len(uploads))
+            if uploads["client_ip"][j] == row["client_ip"]
+            and uploads["server_ip"][j] == row["server_ip"]
+            and row["timestamp_s"]
+            <= uploads["timestamp_s"][j]
+            <= row["timestamp_s"] + 120.0
+        ]
+        assert candidates, "joined upload has no valid source record"
+        speeds = {float(uploads["speed_mbps"][j]) for j in candidates}
+        assert float(row["upload_mbps"]) in speeds
+
+
+@given(ndt_tables())
+@settings(max_examples=60, deadline=None)
+def test_joined_upload_is_the_earliest_candidate(table):
+    joined = join_ndt_tests(table)
+    uploads = table.filter(table["direction"] == "upload") if len(
+        table
+    ) else table
+    for i in range(len(joined)):
+        row = joined.row(i)
+        in_window = [
+            (float(uploads["timestamp_s"][j]), float(uploads["speed_mbps"][j]))
+            for j in range(len(uploads))
+            if uploads["client_ip"][j] == row["client_ip"]
+            and uploads["server_ip"][j] == row["server_ip"]
+            and row["timestamp_s"]
+            <= uploads["timestamp_s"][j]
+            <= row["timestamp_s"] + 120.0
+        ]
+        earliest_time = min(t for t, _ in in_window)
+        earliest_speeds = {s for t, s in in_window if t == earliest_time}
+        assert float(row["upload_mbps"]) in earliest_speeds
+
+
+@given(ndt_tables())
+@settings(max_examples=40, deadline=None)
+def test_join_is_deterministic(table):
+    assert join_ndt_tests(table) == join_ndt_tests(table)

@@ -1,0 +1,34 @@
+"""Tests for the latency/QoS analysis."""
+
+import numpy as np
+import pytest
+
+from repro.frame import ColumnTable
+from repro.pipeline.qos import latency_by_access, latency_by_band
+
+
+def test_wifi_latency_exceeds_ethernet(ookla_ctx_a):
+    comparison = latency_by_access(ookla_ctx_a.table)
+    medians = comparison.medians()
+    assert medians["WiFi"] > medians["Ethernet"]
+
+
+def test_24ghz_latency_exceeds_5ghz(ookla_ctx_a):
+    comparison = latency_by_band(ookla_ctx_a.table)
+    medians = comparison.medians()
+    assert medians["2.4 GHz"] > medians["5 GHz"]
+
+
+def test_latencies_physical(ookla_ctx_a):
+    comparison = latency_by_access(ookla_ctx_a.table)
+    for values in comparison.groups.values():
+        assert (values > 0).all()
+        assert np.median(values) < 100  # metro-scale RTTs
+
+
+def test_missing_latency_column_rejected():
+    table = ColumnTable({"origin": ["native"], "access": ["wifi"]})
+    with pytest.raises(KeyError, match="latency_ms"):
+        latency_by_access(table)
+    with pytest.raises(KeyError, match="latency_ms"):
+        latency_by_band(table)

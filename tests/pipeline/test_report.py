@@ -1,0 +1,77 @@
+"""Tests for the text rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import cdf_series, format_table, render_comparison
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        text = format_table([["a", 1], ["bb", 22]], ["name", "n"])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_alignment(self):
+        text = format_table([["x", 1]], ["long-header", "n"])
+        header, sep, row = text.splitlines()
+        assert len(header) == len(sep) == len(row)
+
+    def test_nan_rendered_as_dash(self):
+        text = format_table([[float("nan")]], ["v"])
+        assert "-" in text.splitlines()[2]
+
+    def test_float_precision(self):
+        text = format_table([[0.123456]], ["v"])
+        assert "0.123" in text
+
+    def test_empty_rows(self):
+        text = format_table([], ["a", "b"])
+        assert "a" in text
+
+    def test_headers_required(self):
+        with pytest.raises(ValueError):
+            format_table([[1]], [])
+
+    def test_cell_count_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table([[1, 2]], ["only"])
+
+
+class TestCdfSeries:
+    def test_default_grid(self):
+        series = cdf_series([1.0, 2.0, 3.0], num=5)
+        assert len(series) == 5
+        assert series[-1][1] == 1.0
+
+    def test_explicit_points(self):
+        series = cdf_series([1.0, 2.0, 3.0, 4.0], points=[2.5])
+        assert series[0] == (2.5, 0.5)
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        series = cdf_series(rng.normal(0, 1, 500))
+        fractions = [f for _, f in series]
+        assert fractions == sorted(fractions)
+
+    def test_nan_dropped(self):
+        series = cdf_series([1.0, np.nan], points=[1.5])
+        assert series[0][1] == 1.0
+
+
+class TestRenderComparison:
+    def test_contains_medians(self):
+        text = render_comparison(
+            "demo", {"a": np.asarray([1.0, 3.0]), "b": np.asarray([2.0])}
+        )
+        assert "demo" in text
+        assert "median" in text
+
+    def test_optional_cdf_block(self):
+        text = render_comparison(
+            "demo",
+            {"a": np.asarray([1.0, 3.0])},
+            points=[0.0, 2.0, 4.0],
+        )
+        assert text.count("\n") > 5

@@ -1,0 +1,64 @@
+"""Tests for the time-of-day analysis."""
+
+import numpy as np
+import pytest
+
+from repro.pipeline import TIME_BINS, normalized_speed_by_bin, time_bin_label
+from repro.pipeline import test_share_by_bin as share_by_bin
+
+
+class TestBins:
+    @pytest.mark.parametrize(
+        "hour,label",
+        [(0, "00-06"), (5, "00-06"), (6, "06-12"), (12, "12-18"),
+         (18, "18-24"), (23, "18-24")],
+    )
+    def test_labels(self, hour, label):
+        assert time_bin_label(hour) == label
+
+    def test_invalid_hour(self):
+        with pytest.raises(ValueError):
+            time_bin_label(24)
+
+
+class TestShares:
+    def test_shares_sum_to_100(self, ookla_ctx_a):
+        shares = share_by_bin(ookla_ctx_a.table)
+        for group, bins in shares.items():
+            assert sum(bins.values()) == pytest.approx(100.0)
+
+    def test_all_groups_reported(self, ookla_ctx_a):
+        shares = share_by_bin(ookla_ctx_a.table)
+        assert set(shares) == set(ookla_ctx_a.group_labels)
+
+    def test_overnight_smallest_for_every_group(self, ookla_ctx_a):
+        shares = share_by_bin(ookla_ctx_a.table)
+        for bins in shares.values():
+            assert bins["00-06"] == min(bins.values())
+
+
+class TestSpeedByBin:
+    def test_bins_partition_group(self, ookla_ctx_a):
+        by_bin = normalized_speed_by_bin(
+            ookla_ctx_a.table, group_label="Tier 4"
+        )
+        total = sum(len(v) for v in by_bin.values())
+        assert total == len(ookla_ctx_a.rows_for_group("Tier 4"))
+
+    def test_all_bins_present(self, ookla_ctx_a):
+        by_bin = normalized_speed_by_bin(ookla_ctx_a.table)
+        assert set(by_bin) == set(TIME_BINS)
+
+    def test_effect_is_marginal(self, ookla_ctx_a):
+        # Section 6.2's conclusion: medians across bins stay close.
+        by_bin = normalized_speed_by_bin(ookla_ctx_a.table)
+        medians = [
+            float(np.median(v)) for v in by_bin.values() if len(v) > 50
+        ]
+        assert max(medians) < 1.6 * min(medians)
+
+    def test_unknown_group_is_empty(self, ookla_ctx_a):
+        by_bin = normalized_speed_by_bin(
+            ookla_ctx_a.table, group_label="Tier 99"
+        )
+        assert all(len(v) == 0 for v in by_bin.values())

@@ -1,0 +1,60 @@
+"""Tests for the Ookla vs M-Lab comparison."""
+
+import numpy as np
+import pytest
+
+from repro.market import city_catalog
+from repro.pipeline import compare_vendors, contextualize
+
+
+@pytest.fixture(scope="module")
+def comparison(request):
+    ookla = request.getfixturevalue("ookla_ctx_a")
+    mlab = request.getfixturevalue("mlab_ctx_a")
+    return compare_vendors(ookla, mlab)
+
+
+def test_groups_covered(comparison):
+    assert comparison.group_labels == [
+        "Tier 1-3", "Tier 4", "Tier 5", "Tier 6",
+    ]
+    for label in comparison.group_labels:
+        assert label in comparison.ookla
+        assert label in comparison.mlab
+
+
+def test_mlab_lags_in_every_tier(comparison):
+    for label, (ookla_med, mlab_med) in comparison.medians().items():
+        assert mlab_med < ookla_med, label
+
+
+def test_lag_factors_in_paper_band(comparison):
+    lags = comparison.lag_factors()
+    for label, lag in lags.items():
+        assert 1.0 < lag < 3.5, (label, lag)
+
+
+def test_lag_definition(comparison):
+    medians = comparison.medians()
+    lags = comparison.lag_factors()
+    for label in comparison.group_labels:
+        ookla_med, mlab_med = medians[label]
+        assert lags[label] == pytest.approx(ookla_med / mlab_med)
+
+
+def test_catalog_mismatch_rejected(ookla_ctx_a, mlab_joined_a):
+    other = contextualize(mlab_joined_a, city_catalog("B"))
+    with pytest.raises(ValueError, match="same city"):
+        compare_vendors(ookla_ctx_a, other)
+
+
+def test_empty_group_lag_is_inf_or_nan():
+    from repro.pipeline.vendor_compare import VendorComparison
+
+    comparison = VendorComparison(
+        group_labels=["Tier 1"],
+        ookla={"Tier 1": np.asarray([0.5])},
+        mlab={"Tier 1": np.asarray([])},
+    )
+    lag = comparison.lag_factors()["Tier 1"]
+    assert np.isnan(lag) or np.isinf(lag)

@@ -1,0 +1,142 @@
+"""Tests for descriptive statistics."""
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    bootstrap_ci,
+    cdf_at,
+    consistency_factor,
+    ecdf,
+    median,
+    normalized_values,
+    quantiles,
+)
+
+
+class TestConsistencyFactor:
+    def test_constant_sample_is_one(self):
+        assert consistency_factor([5.0] * 10) == pytest.approx(1.0)
+
+    def test_variable_sample_below_one(self):
+        values = [10, 20, 30, 40, 100]
+        assert consistency_factor(values) < 1.0
+
+    def test_heavy_tail_can_exceed_one(self):
+        # One huge value drags the mean above the p95 of the bulk.
+        values = [1.0] * 99 + [1e6]
+        assert consistency_factor(values, percentile=50) > 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            consistency_factor([])
+
+    def test_nans_dropped(self):
+        assert consistency_factor([5.0, np.nan, 5.0]) == pytest.approx(1.0)
+
+    def test_zero_denominator_zero_mean(self):
+        assert consistency_factor([0.0, 0.0]) == 1.0
+
+    def test_custom_percentile(self):
+        values = np.arange(1, 101, dtype=float)
+        cf95 = consistency_factor(values, percentile=95)
+        cf50 = consistency_factor(values, percentile=50)
+        assert cf95 < cf50
+
+
+class TestECDF:
+    def test_sorted_output(self):
+        xs, fr = ecdf([3.0, 1.0, 2.0])
+        assert xs.tolist() == [1.0, 2.0, 3.0]
+        assert fr.tolist() == pytest.approx([1 / 3, 2 / 3, 1.0])
+
+    def test_empty(self):
+        xs, fr = ecdf([])
+        assert xs.size == 0 and fr.size == 0
+
+    def test_cdf_at_points(self):
+        out = cdf_at([1.0, 2.0, 3.0, 4.0], [0.0, 2.5, 10.0])
+        assert out.tolist() == [0.0, 0.5, 1.0]
+
+    def test_cdf_at_empty_sample(self):
+        assert np.isnan(cdf_at([], [1.0])).all()
+
+    def test_cdf_right_continuity(self):
+        out = cdf_at([1.0, 2.0], [1.0])
+        assert out[0] == 0.5  # includes the point itself
+
+
+class TestQuantilesMedian:
+    def test_quantiles_keys(self):
+        out = quantiles(np.arange(100.0), qs=(0.5,))
+        assert out[0.5] == pytest.approx(49.5)
+
+    def test_quantiles_empty(self):
+        out = quantiles([], qs=(0.5,))
+        assert np.isnan(out[0.5])
+
+    def test_median_drops_nan(self):
+        assert median([1.0, np.nan, 3.0]) == 2.0
+
+    def test_median_empty(self):
+        assert np.isnan(median([]))
+
+
+class TestBootstrapCI:
+    def test_interval_contains_true_median(self):
+        rng = np.random.default_rng(0)
+        sample = rng.normal(50.0, 5.0, 400)
+        lo, hi = bootstrap_ci(sample, seed=1)
+        assert lo < 50.0 < hi
+
+    def test_interval_ordered_and_tightens_with_n(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(0, 1, 30)
+        large = rng.normal(0, 1, 3000)
+        lo_s, hi_s = bootstrap_ci(small, seed=2)
+        lo_l, hi_l = bootstrap_ci(large, seed=2)
+        assert lo_s <= hi_s and lo_l <= hi_l
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+    def test_custom_statistic(self):
+        sample = np.arange(100.0)
+        lo, hi = bootstrap_ci(sample, statistic=np.mean, seed=3)
+        assert lo < sample.mean() < hi
+
+    def test_deterministic_per_seed(self):
+        sample = np.arange(50.0)
+        assert bootstrap_ci(sample, seed=7) == bootstrap_ci(sample, seed=7)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+    def test_invalid_n_boot(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], n_boot=0)
+
+
+class TestNormalizedValues:
+    def test_simple_ratio(self):
+        out = normalized_values([50.0, 100.0], [100.0, 100.0])
+        assert out.tolist() == [0.5, 1.0]
+
+    def test_zero_offered_is_nan(self):
+        out = normalized_values([50.0], [0.0])
+        assert np.isnan(out[0])
+
+    def test_negative_offered_is_nan(self):
+        out = normalized_values([50.0], [-10.0])
+        assert np.isnan(out[0])
+
+    def test_nan_offered_propagates(self):
+        out = normalized_values([50.0], [np.nan])
+        assert np.isnan(out[0])
+
+    def test_broadcasting_scalar_offered(self):
+        out = normalized_values([25.0, 50.0], 100.0)
+        assert out.tolist() == [0.25, 0.5]

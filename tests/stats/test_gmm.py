@@ -1,0 +1,177 @@
+"""Tests for the from-scratch GMM-EM estimator."""
+
+import numpy as np
+import pytest
+
+from repro.stats import GaussianMixture, select_components_bic
+
+
+@pytest.fixture
+def two_cluster_sample():
+    rng = np.random.default_rng(0)
+    return np.concatenate(
+        [rng.normal(5.0, 0.4, 600), rng.normal(35.0, 1.5, 400)]
+    )
+
+
+class TestFit:
+    def test_recovers_means(self, two_cluster_sample):
+        fit = GaussianMixture(2, seed=1).fit(two_cluster_sample)
+        assert fit.means[0] == pytest.approx(5.0, abs=0.2)
+        assert fit.means[1] == pytest.approx(35.0, abs=0.5)
+
+    def test_recovers_weights(self, two_cluster_sample):
+        fit = GaussianMixture(2, seed=1).fit(two_cluster_sample)
+        assert fit.weights[0] == pytest.approx(0.6, abs=0.05)
+        assert abs(fit.weights.sum() - 1.0) < 1e-9
+
+    def test_means_sorted(self, two_cluster_sample):
+        fit = GaussianMixture(2, seed=1).fit(two_cluster_sample)
+        assert np.all(np.diff(fit.means) >= 0)
+
+    def test_converges(self, two_cluster_sample):
+        fit = GaussianMixture(2, seed=1).fit(two_cluster_sample)
+        assert fit.converged
+        assert fit.n_iter < 200
+
+    def test_single_component(self, two_cluster_sample):
+        fit = GaussianMixture(1).fit(two_cluster_sample)
+        assert fit.means[0] == pytest.approx(
+            two_cluster_sample.mean(), rel=1e-6
+        )
+
+    def test_means_init_respected(self, two_cluster_sample):
+        fit = GaussianMixture(2, means_init=[5.0, 35.0]).fit(
+            two_cluster_sample
+        )
+        assert fit.means[0] == pytest.approx(5.0, abs=0.2)
+
+    def test_means_init_size_checked(self, two_cluster_sample):
+        with pytest.raises(ValueError, match="means_init"):
+            GaussianMixture(2, means_init=[1.0]).fit(two_cluster_sample)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="samples"):
+            GaussianMixture(3).fit([1.0, 2.0])
+
+    def test_nans_dropped(self):
+        fit = GaussianMixture(1).fit([1.0, np.nan, 3.0])
+        assert fit.means[0] == pytest.approx(2.0)
+
+    def test_invalid_component_count(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(0)
+
+    def test_deterministic_given_seed(self, two_cluster_sample):
+        a = GaussianMixture(2, seed=7).fit(two_cluster_sample)
+        b = GaussianMixture(2, seed=7).fit(two_cluster_sample)
+        assert np.allclose(a.means, b.means)
+
+    def test_zero_variance_cluster_floored(self):
+        sample = np.concatenate([np.full(50, 5.0), np.full(50, 10.0)])
+        fit = GaussianMixture(2, seed=0).fit(sample)
+        assert (fit.variances > 0).all()
+
+
+class TestLogLikelihoodMonotonicity:
+    def test_ll_improves_with_iterations(self, two_cluster_sample):
+        short = GaussianMixture(2, max_iter=2, seed=1).fit(
+            two_cluster_sample
+        )
+        long = GaussianMixture(2, max_iter=100, seed=1).fit(
+            two_cluster_sample
+        )
+        assert long.log_likelihood >= short.log_likelihood - 1e-6
+
+
+class TestPrediction:
+    def test_responsibilities_sum_to_one(self, two_cluster_sample):
+        gmm = GaussianMixture(2, seed=1)
+        gmm.fit(two_cluster_sample)
+        resp = gmm.responsibilities(two_cluster_sample)
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_predict_separates_clusters(self, two_cluster_sample):
+        gmm = GaussianMixture(2, seed=1)
+        gmm.fit(two_cluster_sample)
+        labels = gmm.predict([5.0, 35.0])
+        assert labels.tolist() == [0, 1]
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianMixture(2).predict([1.0])
+
+    def test_score_samples_higher_at_modes(self, two_cluster_sample):
+        gmm = GaussianMixture(2, seed=1)
+        gmm.fit(two_cluster_sample)
+        scores = gmm.score_samples([5.0, 20.0])
+        assert scores[0] > scores[1]
+
+    def test_sample_from_fit(self, two_cluster_sample):
+        gmm = GaussianMixture(2, seed=1)
+        gmm.fit(two_cluster_sample)
+        draws = gmm.sample(1000, seed=3)
+        assert draws.shape == (1000,)
+        # Mass should concentrate near both modes.
+        assert np.mean(np.abs(draws - 5.0) < 2) > 0.3
+        assert np.mean(np.abs(draws - 35.0) < 5) > 0.2
+
+
+class TestBIC:
+    def test_bic_prefers_true_component_count(self, two_cluster_sample):
+        best = select_components_bic(two_cluster_sample, max_components=5)
+        assert best.n_components == 2
+
+    def test_bic_unimodal(self):
+        rng = np.random.default_rng(2)
+        best = select_components_bic(rng.normal(0, 1, 800), max_components=4)
+        assert best.n_components == 1
+
+    def test_bic_penalises_complexity(self, two_cluster_sample):
+        simple = GaussianMixture(2, seed=1).fit(two_cluster_sample)
+        complex_fit = GaussianMixture(6, seed=1).fit(two_cluster_sample)
+        n = len(two_cluster_sample)
+        assert simple.bic(n) < complex_fit.bic(n)
+
+    def test_bic_empty_sample(self):
+        with pytest.raises(ValueError):
+            select_components_bic(np.array([]))
+
+    def test_bic_invalid_n(self, two_cluster_sample):
+        fit = GaussianMixture(1).fit(two_cluster_sample)
+        with pytest.raises(ValueError):
+            fit.bic(0)
+
+
+class TestMeanPrior:
+    def test_prior_requires_means_init(self):
+        with pytest.raises(ValueError, match="requires"):
+            GaussianMixture(2, mean_prior_strength=0.1)
+
+    def test_negative_prior_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(2, means_init=[1, 2], mean_prior_strength=-1)
+
+    def test_prior_anchors_means(self):
+        # A smear of mass between two true clusters: the unregularised
+        # fit can drift; the prior keeps components near their anchors.
+        rng = np.random.default_rng(3)
+        sample = np.concatenate(
+            [
+                rng.normal(10, 0.8, 400),
+                rng.normal(15, 0.8, 300),
+                rng.uniform(5, 18, 350),  # smear
+            ]
+        )
+        anchored = GaussianMixture(
+            2, means_init=[10.0, 15.0], mean_prior_strength=0.3
+        ).fit(sample)
+        assert anchored.means[0] == pytest.approx(10.0, abs=1.2)
+        assert anchored.means[1] == pytest.approx(15.0, abs=1.2)
+
+    def test_strong_prior_dominates(self, two_cluster_sample):
+        fit = GaussianMixture(
+            2, means_init=[4.0, 36.0], mean_prior_strength=1000.0
+        ).fit(two_cluster_sample)
+        assert fit.means[0] == pytest.approx(4.0, abs=0.2)
+        assert fit.means[1] == pytest.approx(36.0, abs=0.2)

@@ -1,0 +1,94 @@
+"""Tests for the joint 2-D GMM ablation estimator."""
+
+import numpy as np
+import pytest
+
+from repro.stats import GaussianMixture2D
+
+
+@pytest.fixture
+def two_plans():
+    rng = np.random.default_rng(0)
+    low = np.column_stack(
+        [rng.normal(110, 9, 400), rng.normal(5.5, 0.3, 400)]
+    )
+    high = np.column_stack(
+        [rng.normal(900, 60, 400), rng.normal(40, 2, 400)]
+    )
+    return np.vstack([low, high])
+
+
+class TestFit:
+    def test_recovers_means(self, two_plans):
+        fit = GaussianMixture2D(2, seed=1).fit(two_plans)
+        assert fit.means[0, 0] == pytest.approx(110, rel=0.1)
+        assert fit.means[0, 1] == pytest.approx(5.5, rel=0.15)
+        assert fit.means[1, 0] == pytest.approx(900, rel=0.1)
+
+    def test_components_sorted_by_upload(self, two_plans):
+        fit = GaussianMixture2D(2, seed=1).fit(two_plans)
+        assert fit.means[0, 1] < fit.means[1, 1]
+
+    def test_weights_sum_to_one(self, two_plans):
+        fit = GaussianMixture2D(2, seed=1).fit(two_plans)
+        assert fit.weights.sum() == pytest.approx(1.0)
+
+    def test_variances_positive(self, two_plans):
+        fit = GaussianMixture2D(2, seed=1).fit(two_plans)
+        assert (fit.variances > 0).all()
+
+    def test_converges(self, two_plans):
+        assert GaussianMixture2D(2, seed=1).fit(two_plans).converged
+
+    def test_means_init_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            GaussianMixture2D(2, means_init=[[1.0, 2.0]])
+
+    def test_prior_requires_init(self):
+        with pytest.raises(ValueError):
+            GaussianMixture2D(2, mean_prior_strength=0.1)
+
+    def test_prior_anchors(self, two_plans):
+        fit = GaussianMixture2D(
+            2,
+            means_init=[[100.0, 5.0], [1200.0, 35.0]],
+            mean_prior_strength=100.0,
+        ).fit(two_plans)
+        assert fit.means[1, 0] == pytest.approx(1200.0, rel=0.1)
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="n, 2"):
+            GaussianMixture2D(2).fit(np.zeros((10, 3)))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError, match="samples"):
+            GaussianMixture2D(3).fit(np.zeros((2, 2)))
+
+    def test_nan_rows_dropped(self, two_plans):
+        dirty = np.vstack([two_plans, [[np.nan, 1.0]]])
+        fit = GaussianMixture2D(2, seed=1).fit(dirty)
+        assert fit.n_components == 2
+
+    def test_bic_penalises_complexity(self, two_plans):
+        simple = GaussianMixture2D(2, seed=1).fit(two_plans)
+        complex_fit = GaussianMixture2D(6, seed=1).fit(two_plans)
+        n = two_plans.shape[0]
+        assert simple.bic(n) < complex_fit.bic(n)
+
+
+class TestPredict:
+    def test_predict_separates(self, two_plans):
+        gmm = GaussianMixture2D(2, seed=1)
+        gmm.fit(two_plans)
+        labels = gmm.predict([[110.0, 5.5], [900.0, 40.0]])
+        assert labels.tolist() == [0, 1]
+
+    def test_responsibilities_normalised(self, two_plans):
+        gmm = GaussianMixture2D(2, seed=1)
+        gmm.fit(two_plans)
+        resp = gmm.responsibilities(two_plans)
+        assert np.allclose(resp.sum(axis=1), 1.0)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            GaussianMixture2D(2).predict([[1.0, 2.0]])

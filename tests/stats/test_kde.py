@@ -1,0 +1,126 @@
+"""Tests for the from-scratch Gaussian KDE."""
+
+import numpy as np
+import pytest
+
+from repro.stats import GaussianKDE, scott_bandwidth, silverman_bandwidth
+
+
+@pytest.fixture
+def bimodal():
+    rng = np.random.default_rng(0)
+    return np.concatenate(
+        [rng.normal(5, 0.5, 400), rng.normal(35, 2.0, 400)]
+    )
+
+
+class TestBandwidthRules:
+    def test_silverman_positive(self, bimodal):
+        assert silverman_bandwidth(bimodal) > 0
+
+    def test_scott_exceeds_silverman(self, bimodal):
+        assert scott_bandwidth(bimodal) > silverman_bandwidth(bimodal)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            silverman_bandwidth(np.array([]))
+
+    def test_constant_sample_gets_tiny_bandwidth(self):
+        bw = silverman_bandwidth(np.full(10, 7.0))
+        assert 0 < bw < 1e-3
+
+    def test_bandwidth_shrinks_with_n(self):
+        rng = np.random.default_rng(1)
+        small = rng.normal(0, 1, 50)
+        large = np.concatenate([small] * 40)
+        assert silverman_bandwidth(large) < silverman_bandwidth(small)
+
+
+class TestEvaluate:
+    def test_density_positive(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        _, density = kde.grid(num=256)
+        assert (density >= 0).all()
+
+    def test_density_integrates_to_one(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        grid, density = kde.grid(num=2048, pad_bandwidths=8)
+        integral = np.trapezoid(density, grid)
+        assert integral == pytest.approx(1.0, abs=0.01)
+
+    def test_peak_near_modes(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        grid, density = kde.grid(num=1024)
+        top = grid[np.argmax(density)]
+        assert abs(top - 5.0) < 1.0  # the tighter mode dominates
+
+    def test_scalar_evaluation(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        out = kde.evaluate(5.0)
+        assert out.shape == (1,)
+
+    def test_callable_alias(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        assert np.allclose(kde(5.0), kde.evaluate(5.0))
+
+    def test_nan_inputs_dropped(self):
+        kde = GaussianKDE([1.0, np.nan, 2.0, np.inf])
+        assert kde.values.tolist() == [1.0, 2.0]
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            GaussianKDE([np.nan, np.nan])
+
+    def test_explicit_bandwidth(self):
+        kde = GaussianKDE([0.0, 10.0], bandwidth=2.0)
+        assert kde.bandwidth == 2.0
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            GaussianKDE([1.0, 2.0], bandwidth=0.0)
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            GaussianKDE([1.0, 2.0], bandwidth="magic")
+
+    def test_scott_rule_accepted(self):
+        kde = GaussianKDE([1.0, 2.0, 3.0], bandwidth="scott")
+        assert kde.bandwidth > 0
+
+    def test_single_value_sample(self):
+        kde = GaussianKDE([5.0])
+        assert kde.evaluate(5.0)[0] > 0
+
+
+class TestGrid:
+    def test_grid_spans_sample(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        grid, _ = kde.grid(num=64)
+        assert grid[0] < bimodal.min()
+        assert grid[-1] > bimodal.max()
+
+    def test_explicit_bounds(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        grid, _ = kde.grid(num=16, lo=0.0, hi=50.0)
+        assert grid[0] == 0.0 and grid[-1] == 50.0
+
+    def test_tiny_grid_rejected(self, bimodal):
+        with pytest.raises(ValueError):
+            GaussianKDE(bimodal).grid(num=1)
+
+
+class TestIntegrate:
+    def test_full_mass(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        assert kde.integrate(-1e3, 1e3) == pytest.approx(1.0, abs=1e-6)
+
+    def test_half_mass_split(self, bimodal):
+        kde = GaussianKDE(bimodal)
+        left = kde.integrate(-1e3, 20.0)
+        right = kde.integrate(20.0, 1e3)
+        assert left + right == pytest.approx(1.0, abs=1e-6)
+        assert left == pytest.approx(0.5, abs=0.05)
+
+    def test_reversed_bounds_rejected(self, bimodal):
+        with pytest.raises(ValueError):
+            GaussianKDE(bimodal).integrate(10.0, 0.0)

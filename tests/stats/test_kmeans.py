@@ -1,0 +1,78 @@
+"""Tests for the 1-D K-Means ablation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.stats import KMeans1D
+
+
+@pytest.fixture
+def sample():
+    rng = np.random.default_rng(0)
+    return np.concatenate(
+        [rng.normal(5, 0.5, 300), rng.normal(20, 1.0, 300)]
+    )
+
+
+def test_recovers_centers(sample):
+    fit = KMeans1D(2).fit(sample)
+    assert fit.centers[0] == pytest.approx(5.0, abs=0.3)
+    assert fit.centers[1] == pytest.approx(20.0, abs=0.5)
+
+
+def test_centers_sorted(sample):
+    fit = KMeans1D(2).fit(sample)
+    assert np.all(np.diff(fit.centers) >= 0)
+
+
+def test_converges(sample):
+    fit = KMeans1D(2).fit(sample)
+    assert fit.converged
+
+
+def test_inertia_decreases_with_more_clusters(sample):
+    one = KMeans1D(1).fit(sample).inertia
+    two = KMeans1D(2).fit(sample).inertia
+    assert two < one
+
+
+def test_predict_assigns_nearest(sample):
+    km = KMeans1D(2)
+    km.fit(sample)
+    assert km.predict([5.0, 20.0]).tolist() == [0, 1]
+
+
+def test_predict_before_fit():
+    with pytest.raises(RuntimeError):
+        KMeans1D(2).predict([1.0])
+
+
+def test_means_init(sample):
+    fit = KMeans1D(2, means_init=[5.0, 20.0]).fit(sample)
+    assert fit.n_iter >= 1
+    assert fit.centers[0] == pytest.approx(5.0, abs=0.3)
+
+
+def test_means_init_size_checked(sample):
+    with pytest.raises(ValueError):
+        KMeans1D(2, means_init=[1.0]).fit(sample)
+
+
+def test_too_few_samples():
+    with pytest.raises(ValueError):
+        KMeans1D(3).fit([1.0])
+
+
+def test_invalid_k():
+    with pytest.raises(ValueError):
+        KMeans1D(0)
+
+
+def test_nan_dropped():
+    fit = KMeans1D(1).fit([1.0, np.nan, 3.0])
+    assert fit.centers[0] == pytest.approx(2.0)
+
+
+def test_single_cluster_center_is_mean(sample):
+    fit = KMeans1D(1).fit(sample)
+    assert fit.centers[0] == pytest.approx(sample.mean(), rel=1e-6)

@@ -1,0 +1,123 @@
+"""Tests for density peak detection."""
+
+import numpy as np
+import pytest
+
+from repro.stats import count_density_peaks, find_density_peaks
+from repro.stats.peaks import DensityPeak, _local_maxima, _prominence
+
+
+def _gaussian(grid, mu, sigma, height):
+    return height * np.exp(-0.5 * ((grid - mu) / sigma) ** 2)
+
+
+class TestLocalMaxima:
+    def test_single_bump(self):
+        grid = np.linspace(0, 10, 101)
+        density = _gaussian(grid, 5, 1, 1.0)
+        assert len(_local_maxima(density)) == 1
+
+    def test_two_bumps(self):
+        grid = np.linspace(0, 20, 201)
+        density = _gaussian(grid, 5, 1, 1.0) + _gaussian(grid, 15, 1, 0.8)
+        assert len(_local_maxima(density)) == 2
+
+    def test_plateau_counts_once(self):
+        density = np.asarray([0.0, 1.0, 1.0, 1.0, 0.0])
+        assert len(_local_maxima(density)) == 1
+
+    def test_monotone_has_no_interior_maxima(self):
+        density = np.linspace(0, 1, 50)
+        assert len(_local_maxima(density)) == 0
+
+    def test_too_short_curve(self):
+        assert len(_local_maxima(np.asarray([1.0, 2.0]))) == 0
+
+
+class TestProminence:
+    def test_isolated_peak_full_prominence(self):
+        grid = np.linspace(0, 10, 101)
+        density = _gaussian(grid, 5, 1, 2.0)
+        idx = int(np.argmax(density))
+        assert _prominence(density, idx) == pytest.approx(2.0, abs=0.01)
+
+    def test_shoulder_peak_lower_prominence(self):
+        grid = np.linspace(0, 20, 401)
+        density = _gaussian(grid, 8, 2, 1.0) + _gaussian(grid, 12, 1, 0.4)
+        maxima = _local_maxima(density)
+        proms = sorted(_prominence(density, i) for i in maxima)
+        assert proms[0] < 0.4  # the shoulder
+
+
+class TestFindPeaks:
+    def test_respects_min_height(self):
+        grid = np.linspace(0, 30, 301)
+        density = _gaussian(grid, 5, 1, 1.0) + _gaussian(grid, 25, 1, 0.005)
+        peaks = find_density_peaks(grid, density, min_height_frac=0.02)
+        assert len(peaks) == 1
+
+    def test_respects_min_prominence(self):
+        grid = np.linspace(0, 20, 401)
+        density = _gaussian(grid, 10, 3, 1.0) + _gaussian(grid, 12, 0.5, 0.02)
+        peaks = find_density_peaks(grid, density, min_prominence_frac=0.05)
+        assert len(peaks) == 1
+
+    def test_sorted_by_location(self):
+        grid = np.linspace(0, 40, 401)
+        density = (
+            _gaussian(grid, 30, 1, 0.7)
+            + _gaussian(grid, 10, 1, 1.0)
+            + _gaussian(grid, 20, 1, 0.9)
+        )
+        peaks = find_density_peaks(grid, density)
+        locations = [p.location for p in peaks]
+        assert locations == sorted(locations)
+        assert len(peaks) == 3
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            find_density_peaks(np.zeros(3), np.zeros(4))
+
+    def test_empty_curve(self):
+        assert find_density_peaks(np.array([]), np.array([])) == []
+
+    def test_flat_zero_curve(self):
+        grid = np.linspace(0, 1, 10)
+        assert find_density_peaks(grid, np.zeros(10)) == []
+
+    def test_returns_peak_objects(self):
+        grid = np.linspace(0, 10, 101)
+        density = _gaussian(grid, 5, 1, 1.0)
+        (peak,) = find_density_peaks(grid, density)
+        assert isinstance(peak, DensityPeak)
+        assert peak.location == pytest.approx(5.0, abs=0.2)
+
+
+class TestCountPeaks:
+    def test_four_upload_clusters(self):
+        rng = np.random.default_rng(0)
+        sample = np.concatenate(
+            [
+                rng.normal(5, 0.3, 500),
+                rng.normal(11, 0.5, 300),
+                rng.normal(17, 0.6, 300),
+                rng.normal(40, 1.5, 400),
+            ]
+        )
+        assert count_density_peaks(sample, log_space=True) == 4
+
+    def test_unimodal_counts_one(self):
+        rng = np.random.default_rng(1)
+        assert count_density_peaks(rng.normal(10, 1, 500)) == 1
+
+    def test_minimum_is_one_even_for_flat(self):
+        assert count_density_peaks(np.full(50, 3.0)) >= 1
+
+    def test_log_space_requires_positive_values(self):
+        with pytest.raises(ValueError, match="positive"):
+            count_density_peaks([-1.0, 0.0], log_space=True)
+
+    def test_log_space_drops_nonpositive(self):
+        rng = np.random.default_rng(3)
+        sample = np.concatenate([rng.normal(10, 1, 300), [-5.0, 0.0]])
+        assert count_density_peaks(sample, log_space=True) == 1

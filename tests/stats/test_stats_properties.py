@@ -1,0 +1,99 @@
+"""Property-based tests of the statistics substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats import (
+    GaussianKDE,
+    GaussianMixture,
+    cdf_at,
+    consistency_factor,
+    ecdf,
+    normalized_values,
+)
+
+finite_floats = st.floats(
+    min_value=0.1, max_value=1e4, allow_nan=False, allow_infinity=False
+)
+
+
+def samples(min_size=2, max_size=200):
+    return arrays(
+        dtype=float,
+        shape=st.integers(min_value=min_size, max_value=max_size),
+        elements=finite_floats,
+    )
+
+
+@given(samples())
+@settings(max_examples=40, deadline=None)
+def test_kde_density_nonnegative(sample):
+    kde = GaussianKDE(sample)
+    _, density = kde.grid(num=64)
+    assert (density >= 0).all()
+
+
+@given(samples(min_size=5))
+@settings(max_examples=30, deadline=None)
+def test_kde_integrates_to_one(sample):
+    kde = GaussianKDE(sample)
+    assert abs(kde.integrate(-1e9, 1e9) - 1.0) < 1e-6
+
+
+@given(samples(min_size=4))
+@settings(max_examples=25, deadline=None)
+def test_gmm_responsibilities_are_distributions(sample):
+    gmm = GaussianMixture(2, seed=0)
+    gmm.fit(sample)
+    resp = gmm.responsibilities(sample)
+    assert np.allclose(resp.sum(axis=1), 1.0, atol=1e-8)
+    assert (resp >= 0).all()
+
+
+@given(samples(min_size=4))
+@settings(max_examples=25, deadline=None)
+def test_gmm_weights_sum_to_one(sample):
+    fit = GaussianMixture(2, seed=0).fit(sample)
+    assert abs(fit.weights.sum() - 1.0) < 1e-8
+    assert (fit.variances > 0).all()
+
+
+@given(samples())
+@settings(max_examples=40, deadline=None)
+def test_ecdf_monotone_and_bounded(sample):
+    xs, fractions = ecdf(sample)
+    assert np.all(np.diff(fractions) >= 0)
+    assert fractions[-1] == 1.0
+    assert np.all(np.diff(xs) >= 0)
+
+
+@given(samples(), samples(min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_cdf_at_monotone(sample, points):
+    sorted_points = np.sort(points)
+    out = cdf_at(sample, sorted_points)
+    assert np.all(np.diff(out) >= -1e-12)
+    assert ((out >= 0) & (out <= 1)).all()
+
+
+@given(samples(min_size=1))
+@settings(max_examples=40)
+def test_consistency_factor_positive(sample):
+    assert consistency_factor(sample) > 0
+
+
+@given(samples(min_size=1))
+@settings(max_examples=40)
+def test_scaling_invariance_of_consistency_factor(sample):
+    base = consistency_factor(sample)
+    scaled = consistency_factor(sample * 3.0)
+    assert np.isclose(base, scaled, rtol=1e-9)
+
+
+@given(samples(min_size=1), finite_floats)
+@settings(max_examples=40)
+def test_normalized_values_scale(sample, offered):
+    out = normalized_values(sample, np.full(sample.shape, offered))
+    assert np.allclose(out * offered, sample, rtol=1e-9)

@@ -1,0 +1,155 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.frame import read_csv, write_csv
+
+
+@pytest.fixture
+def ookla_csv(tmp_path, ookla_a):
+    path = tmp_path / "ookla.csv"
+    write_csv(ookla_a.head(1500), path)
+    return path
+
+
+@pytest.fixture
+def ctx_csv(tmp_path, ookla_ctx_a):
+    path = tmp_path / "ctx.csv"
+    write_csv(ookla_ctx_a.table.head(1500), path)
+    return path
+
+
+class TestGenerate:
+    def test_generate_ookla(self, tmp_path, capsys):
+        out = tmp_path / "o.csv"
+        code = main(
+            [
+                "generate", "--vendor", "ookla", "--city", "A",
+                "--n", "200", "--seed", "5", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        assert len(read_csv(out)) >= 200
+
+    def test_generate_mba(self, tmp_path, capsys):
+        out = tmp_path / "m.csv"
+        code = main(
+            [
+                "generate", "--vendor", "mba", "--city", "B",
+                "--n", "300", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        table = read_csv(out)
+        assert "tier" in table
+
+    def test_generate_and_join_mlab(self, tmp_path, capsys):
+        raw = tmp_path / "ndt.csv"
+        joined = tmp_path / "joined.csv"
+        assert main(
+            [
+                "generate", "--vendor", "mlab", "--city", "A",
+                "--n", "400", "--out", str(raw),
+            ]
+        ) == 0
+        assert main(
+            ["join-ndt", "--input", str(raw), "--out", str(joined)]
+        ) == 0
+        table = read_csv(joined)
+        assert "download_mbps" in table and "upload_mbps" in table
+
+    def test_unknown_vendor_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "generate", "--vendor", "fast", "--out",
+                    str(tmp_path / "x.csv"),
+                ]
+            )
+
+
+class TestContextualize:
+    def test_round_trip(self, tmp_path, ookla_csv, capsys):
+        out = tmp_path / "ctx.csv"
+        code = main(
+            [
+                "contextualize", "--input", str(ookla_csv),
+                "--city", "A", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        table = read_csv(out)
+        assert "bst_tier" in table
+        assert "median dl/plan" in capsys.readouterr().out
+
+
+class TestEvaluate:
+    def test_reports_accuracy(self, capsys):
+        code = main(["evaluate", "--state", "A", "--n", "3000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "upload-group accuracy" in out
+        assert "%" in out
+
+
+class TestExperiments:
+    def test_list(self, capsys):
+        assert main(["list-experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "tab2" in out
+
+    def test_run_small_experiment(self, capsys):
+        code = main(["experiment", "fig10", "--scale", "small"])
+        assert code == 0
+        assert "bottleneck" in capsys.readouterr().out.lower()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+
+class TestAuditAndChallenge:
+    def test_audit_raw_table(self, ookla_csv, capsys):
+        assert main(["audit", "--input", str(ookla_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "interpretability score" in out
+        assert "recommendations" in out
+
+    def test_audit_contextualised(self, ctx_csv, capsys):
+        assert main(["audit", "--input", str(ctx_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "subscription plan" in out
+
+    def test_challenge_triage(self, ctx_csv, capsys):
+        assert main(["challenge", "--input", str(ctx_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "challenge-worthy" in out
+        assert "evidence-grade" in out
+
+    def test_challenge_custom_ratio(self, ctx_csv, capsys):
+        assert main(
+            ["challenge", "--input", str(ctx_csv), "--ratio", "0.9"]
+        ) == 0
+
+
+class TestDescribeAndDossier:
+    def test_describe(self, capsys):
+        assert main(["describe", "--city", "A"]) == 0
+        out = capsys.readouterr().out
+        assert "BST methodology" in out
+        assert "Tier 1-3" in out
+
+    def test_dossier(self, capsys):
+        assert main(
+            ["dossier", "--city", "A", "--n", "2000", "--seed", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Broadband dossier" in out
+        assert "challenge triage" in out
+
+
+def test_no_command_exits():
+    with pytest.raises(SystemExit):
+        main([])

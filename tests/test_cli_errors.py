@@ -1,0 +1,69 @@
+"""CLI error-path tests."""
+
+import pytest
+
+from repro.cli import main
+from repro.frame import ColumnTable, write_csv
+
+
+def test_join_ndt_on_wrong_schema(tmp_path):
+    path = tmp_path / "bad.csv"
+    write_csv(ColumnTable({"x": [1, 2]}), path)
+    with pytest.raises(KeyError, match="missing"):
+        main(
+            [
+                "join-ndt", "--input", str(path),
+                "--out", str(tmp_path / "out.csv"),
+            ]
+        )
+
+
+def test_contextualize_on_empty_speeds(tmp_path):
+    path = tmp_path / "empty.csv"
+    write_csv(
+        ColumnTable(
+            {"download_mbps": [float("nan")], "upload_mbps": [1.0]}
+        ),
+        path,
+    )
+    with pytest.raises(ValueError, match="no finite"):
+        main(
+            [
+                "contextualize", "--input", str(path),
+                "--city", "A", "--out", str(tmp_path / "o.csv"),
+            ]
+        )
+
+
+def test_challenge_requires_context_columns(tmp_path):
+    path = tmp_path / "raw.csv"
+    write_csv(ColumnTable({"download_mbps": [10.0]}), path)
+    with pytest.raises(KeyError, match="contextualised"):
+        main(["challenge", "--input", str(path)])
+
+
+def test_unknown_city_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "generate", "--vendor", "ookla", "--city", "Z",
+                "--out", str(tmp_path / "x.csv"),
+            ]
+        )
+
+
+def test_report_all_unknown_experiment(tmp_path):
+    with pytest.raises(KeyError, match="unknown"):
+        main(
+            [
+                "report-all", "--out-dir", str(tmp_path),
+                "--only", "fig999",
+            ]
+        )
+
+
+def test_audit_on_empty_csv(tmp_path, capsys):
+    path = tmp_path / "empty.csv"
+    path.write_text("")
+    assert main(["audit", "--input", str(path)]) == 0
+    assert "0.00" in capsys.readouterr().out

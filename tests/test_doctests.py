@@ -1,0 +1,42 @@
+"""Run the doctest examples embedded in module docstrings.
+
+Every public-API usage example in the docs must actually work; this
+keeps the documentation honest as the code evolves.
+"""
+
+import doctest
+
+import pytest
+
+import repro.core.bst
+import repro.frame.table
+import repro.market.plans
+import repro.market.population
+import repro.pipeline.report
+import repro.stats.gmm
+import repro.stats.gmm2d
+import repro.stats.kde
+import repro.vendors.ookla
+
+MODULES = [
+    repro.frame.table,
+    repro.stats.kde,
+    repro.stats.gmm,
+    repro.stats.gmm2d,
+    repro.market.plans,
+    repro.market.population,
+    repro.core.bst,
+    repro.vendors.ookla,
+    repro.pipeline.report,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_module_doctests(module):
+    results = doctest.testmod(
+        module, optionflags=doctest.NORMALIZE_WHITESPACE, verbose=False
+    )
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "module has no doctest examples"

@@ -1,0 +1,81 @@
+"""Tests for the MBA panel simulator."""
+
+import numpy as np
+import pytest
+
+from repro.vendors import MBASimulator
+from repro.vendors.mba import MBA_MONTHS, MBA_UNITS_PER_STATE
+from repro.vendors.schema import MBA_COLUMNS
+
+
+class TestPanel:
+    def test_schema(self, mba_a):
+        assert set(mba_a.column_names) == set(MBA_COLUMNS)
+
+    def test_default_unit_count(self):
+        sim = MBASimulator("A", seed=0)
+        assert len({u.user_id for u in sim.build_units()}) == (
+            MBA_UNITS_PER_STATE["A"]
+        )
+
+    def test_every_catalog_tier_has_a_unit(self):
+        sim = MBASimulator("A", seed=0)
+        tiers = {u.tier for u in sim.build_units()}
+        assert tiers == {2, 3, 4, 5, 6}  # State-A panel lacks tier 1
+
+    def test_units_are_wired(self):
+        units = MBASimulator("B", seed=0).build_units()
+        assert all(u.access == "ethernet" for u in units)
+
+    def test_tiny_panel_allowed(self):
+        sim = MBASimulator("A", n_units=2, seed=0)
+        assert len(sim.build_units()) == 2
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            MBASimulator("A", n_units=0)
+
+    def test_invalid_tests_per_day(self):
+        with pytest.raises(ValueError):
+            MBASimulator("A", tests_per_day=0)
+
+
+class TestMeasurements:
+    def test_requested_count_honoured(self, mba_a):
+        assert len(mba_a) == 5_000
+
+    def test_default_volume_matches_paper_scale(self):
+        # ~20 units x 4/day x 30 days x 10 months ~ 24k (Table 1: 25.9k).
+        table = MBASimulator("A", seed=3).generate()
+        assert 20_000 < len(table) < 28_000
+
+    def test_september_october_missing(self, mba_a):
+        months = set(np.asarray(mba_a["month"], dtype=int).tolist())
+        assert months <= set(MBA_MONTHS)
+        assert 9 not in months and 10 not in months
+
+    def test_ground_truth_tier_present(self, mba_a):
+        tiers = set(np.asarray(mba_a["tier"], dtype=int).tolist())
+        assert tiers <= {2, 3, 4, 5, 6}
+
+    def test_deterministic(self):
+        a = MBASimulator("A", seed=9).generate(500)
+        b = MBASimulator("A", seed=9).generate(500)
+        assert a == b
+
+    def test_wired_overprovisioning_visible(self, mba_a):
+        # Low tiers should measure above their advertised rate wired.
+        downloads = np.asarray(mba_a["download_mbps"], dtype=float)
+        tiers = np.asarray(mba_a["tier"], dtype=int)
+        med_t2 = np.median(downloads[tiers == 2])
+        assert med_t2 > 100  # the 100 Mbps plan over-delivers
+
+    def test_gigabit_tier_undershoots(self, mba_a):
+        downloads = np.asarray(mba_a["download_mbps"], dtype=float)
+        tiers = np.asarray(mba_a["tier"], dtype=int)
+        med_t6 = np.median(downloads[tiers == 6])
+        assert med_t6 < 1100  # saturation shortfall on the 1200 plan
+
+    def test_units_round_robin_evenly(self, mba_a):
+        counts = mba_a.value_counts("unit_id")
+        assert max(counts.values()) - min(counts.values()) <= 1

@@ -1,0 +1,75 @@
+"""Tests for the M-Lab NDT simulator."""
+
+import numpy as np
+import pytest
+
+from repro.vendors import MLabSimulator
+from repro.vendors.schema import MLAB_COLUMNS
+
+
+class TestGeneration:
+    def test_schema(self, mlab_raw_a):
+        assert set(mlab_raw_a.column_names) == set(MLAB_COLUMNS)
+
+    def test_directions_are_separate_records(self, mlab_raw_a):
+        directions = set(mlab_raw_a["direction"].tolist())
+        assert directions == {"download", "upload"}
+
+    def test_one_download_per_session(self, mlab_raw_a):
+        downloads = mlab_raw_a.filter(
+            mlab_raw_a["direction"] == "download"
+        )
+        assert len(downloads) == 4_000
+
+    def test_most_downloads_have_followup_upload(self, mlab_raw_a):
+        downloads = (mlab_raw_a["direction"] == "download").sum()
+        uploads = (mlab_raw_a["direction"] == "upload").sum()
+        assert 0.85 * downloads < uploads < 1.15 * downloads
+
+    def test_deterministic(self):
+        a = MLabSimulator("A", seed=5).generate(200)
+        b = MLabSimulator("A", seed=5).generate(200)
+        assert a == b
+
+    def test_zero_sessions(self):
+        assert len(MLabSimulator("A", seed=0).generate(0)) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MLabSimulator("A", seed=0).generate(-5)
+
+
+class TestRecords:
+    def test_client_ips_stable_per_user(self, mlab_raw_a):
+        # One public IP per user: every record pair of a session shares it.
+        downloads = mlab_raw_a.filter(
+            mlab_raw_a["direction"] == "download"
+        )
+        assert len(set(downloads["client_ip"].tolist())) > 100
+
+    def test_timestamps_within_year(self, mlab_raw_a):
+        ts = np.asarray(mlab_raw_a["timestamp_s"], dtype=float)
+        assert (ts >= 0).all()
+        assert (ts < 366 * 86_400 + 3_600).all()
+
+    def test_no_device_metadata_columns(self, mlab_raw_a):
+        # NDT archives no platform/RSSI/memory context (Section 3.2).
+        for column in ("platform", "rssi_dbm", "memory_gb", "access"):
+            assert column not in mlab_raw_a
+
+    def test_asn_constant_per_isp(self, mlab_raw_a):
+        assert len(set(mlab_raw_a["asn"].tolist())) == 1
+
+    def test_rtt_positive(self, mlab_raw_a):
+        assert (np.asarray(mlab_raw_a["rtt_ms"], dtype=float) > 0).all()
+
+
+class TestSingleFlowEffect:
+    def test_high_tier_downloads_capped_below_plan(self, mlab_raw_a):
+        downloads = mlab_raw_a.filter(
+            (mlab_raw_a["direction"] == "download")
+            & (mlab_raw_a["true_tier"] == 6)
+        )
+        speeds = np.asarray(downloads["speed_mbps"], dtype=float)
+        # Single-flow NDT cannot come close to a 1.2 Gbps plan.
+        assert np.median(speeds) < 400

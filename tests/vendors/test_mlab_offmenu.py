@@ -1,0 +1,40 @@
+"""The M-Lab off-menu upload cluster (Figure 6's ~1 Mbps cluster).
+
+Section 5.1 observes "an additional upload speed cluster in the 1 Mbps
+region in the M-Lab data" -- uploads whose WiFi hop capped them far
+below every advertised rate.  These tests verify the simulated NDT data
+reproduces that mass and that BST absorbs it into extra components
+mapped to the lowest group instead of corrupting the menu clusters.
+"""
+
+import numpy as np
+
+from repro.core.bst import BSTModel
+from repro.market import city_catalog
+
+
+def test_offmenu_low_upload_mass_exists(mlab_joined_a):
+    uploads = np.asarray(mlab_joined_a["upload_mbps"], dtype=float)
+    offered_min = min(city_catalog("A").upload_speeds)
+    # A visible share of uploads lands well below the slowest plan rate.
+    assert np.mean(uploads < 0.6 * offered_min) > 0.01
+
+
+def test_bst_gives_offmenu_mass_extra_components(mlab_joined_a):
+    catalog = city_catalog("A")
+    model = BSTModel(catalog)
+    uploads = np.asarray(mlab_joined_a["upload_mbps"], dtype=float)
+    fit, groups = model.fit_upload_stage(uploads)
+    low = uploads < 0.6 * min(catalog.upload_speeds)
+    if low.sum() >= 20 and len(fit.component_means) > len(fit.groups):
+        # The off-menu mass maps to the lowest upload group.
+        assert set(np.asarray(groups)[low].tolist()) == {0}
+
+
+def test_menu_cluster_means_unaffected_by_offmenu_mass(mlab_joined_a):
+    catalog = city_catalog("A")
+    fit, _ = BSTModel(catalog).fit_upload_stage(
+        np.asarray(mlab_joined_a["upload_mbps"], dtype=float)
+    )
+    for group, mean in zip(fit.groups, fit.cluster_means):
+        assert group.upload_mbps * 0.8 < mean < group.upload_mbps * 1.4

@@ -1,0 +1,103 @@
+"""Tests for the Ookla simulator."""
+
+import numpy as np
+import pytest
+
+from repro.vendors import OoklaSimulator
+from repro.vendors.schema import OOKLA_COLUMNS
+
+
+class TestGeneration:
+    def test_schema(self, ookla_a):
+        assert set(ookla_a.column_names) == set(OOKLA_COLUMNS)
+
+    def test_at_least_requested_rows(self, ookla_a):
+        assert len(ookla_a) >= 5_000
+
+    def test_deterministic(self):
+        a = OoklaSimulator("A", seed=42).generate(300)
+        b = OoklaSimulator("A", seed=42).generate(300)
+        assert a == b
+
+    def test_seeds_differ(self):
+        a = OoklaSimulator("A", seed=1).generate(300)
+        b = OoklaSimulator("A", seed=2).generate(300)
+        assert a != b
+
+    def test_zero_tests(self):
+        t = OoklaSimulator("A", seed=0).generate(0)
+        assert len(t) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OoklaSimulator("A", seed=0).generate(-1)
+
+    def test_test_ids_unique(self, ookla_a):
+        ids = ookla_a["test_id"]
+        assert len(set(ids.tolist())) == len(ids)
+
+
+class TestMetadataRules:
+    def test_web_tests_have_no_access_metadata(self, ookla_a):
+        web = ookla_a.filter(ookla_a["platform"] == "web")
+        assert set(web["access"].tolist()) == {"unknown"}
+        assert set(web["origin"].tolist()) == {"web"}
+
+    def test_only_android_has_wifi_metadata(self, ookla_a):
+        non_android = ookla_a.filter(ookla_a["platform"] != "android")
+        assert np.isnan(
+            np.asarray(non_android["rssi_dbm"], dtype=float)
+        ).all()
+        assert np.isnan(
+            np.asarray(non_android["memory_gb"], dtype=float)
+        ).all()
+
+    def test_android_metadata_complete(self, ookla_a):
+        android = ookla_a.filter(ookla_a["platform"] == "android")
+        rssi = np.asarray(android["rssi_dbm"], dtype=float)
+        memory = np.asarray(android["memory_gb"], dtype=float)
+        band = np.asarray(android["wifi_band_ghz"], dtype=float)
+        assert np.isfinite(rssi).all()
+        assert np.isfinite(memory).all()
+        assert set(np.unique(band).tolist()) <= {2.4, 5.0}
+
+    def test_android_always_wifi(self, ookla_a):
+        android = ookla_a.filter(ookla_a["platform"] == "android")
+        assert set(android["access"].tolist()) == {"wifi"}
+
+    def test_city_and_isp_stamped(self, ookla_a):
+        assert set(ookla_a["city"].tolist()) == {"A"}
+        assert set(ookla_a["isp"].tolist()) == {"ISP-A"}
+
+    def test_hours_and_months_in_range(self, ookla_a):
+        hours = np.asarray(ookla_a["hour"], dtype=int)
+        months = np.asarray(ookla_a["month"], dtype=int)
+        assert ((hours >= 0) & (hours <= 23)).all()
+        assert ((months >= 1) & (months <= 12)).all()
+
+
+class TestPhysicsShape:
+    def test_uploads_cluster_near_plan_rates(self, ookla_a):
+        uploads = np.asarray(ookla_a["upload_mbps"], dtype=float)
+        tiers = np.asarray(ookla_a["true_tier"], dtype=int)
+        t6 = uploads[tiers == 6]
+        # 35 Mbps plan with ~14% headroom and small noise.
+        assert 30 < np.median(t6) < 45
+
+    def test_tier_skews_low(self, ookla_a):
+        tiers = np.asarray(ookla_a["true_tier"], dtype=int)
+        assert np.mean(tiers <= 3) > 0.3
+
+    def test_download_medians_ordered_by_tier(self, ookla_a):
+        downloads = np.asarray(ookla_a["download_mbps"], dtype=float)
+        tiers = np.asarray(ookla_a["true_tier"], dtype=int)
+        med1 = np.median(downloads[tiers == 1])
+        med6 = np.median(downloads[tiers == 6])
+        assert med6 > med1 * 3
+
+    def test_repeated_users_share_household(self, ookla_a):
+        users = ookla_a["user_id"]
+        counts = ookla_a.value_counts("user_id")
+        repeat_user = next(u for u, c in counts.items() if c >= 5)
+        rows = ookla_a.filter(users == repeat_user)
+        assert len(set(rows["true_tier"].tolist())) == 1

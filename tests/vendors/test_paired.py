@@ -1,0 +1,77 @@
+"""Tests for paired same-household vendor generation."""
+
+import numpy as np
+import pytest
+
+from repro.vendors.paired import generate_paired_tests
+
+
+@pytest.fixture(scope="module")
+def paired():
+    return generate_paired_tests("A", 800, seed=5)
+
+
+def test_one_row_per_user(paired):
+    assert len(paired) == 800
+    assert len(set(paired["user_id"].tolist())) == 800
+
+
+def test_both_vendors_present(paired):
+    for column in (
+        "ookla_download_mbps",
+        "mlab_download_mbps",
+        "ookla_upload_mbps",
+        "mlab_upload_mbps",
+    ):
+        values = np.asarray(paired[column], dtype=float)
+        assert (values > 0).all()
+
+
+def test_ookla_wins_majority_of_households(paired):
+    ookla = np.asarray(paired["ookla_download_mbps"], dtype=float)
+    mlab = np.asarray(paired["mlab_download_mbps"], dtype=float)
+    assert np.mean(ookla > mlab) > 0.6
+
+
+def test_gap_grows_with_tier(paired):
+    ookla = np.asarray(paired["ookla_download_mbps"], dtype=float)
+    mlab = np.asarray(paired["mlab_download_mbps"], dtype=float)
+    tiers = np.asarray(paired["true_tier"], dtype=int)
+    ratio = ookla / mlab
+    low = float(np.median(ratio[tiers <= 3]))
+    high = float(np.median(ratio[tiers == 6]))
+    assert high >= low
+
+
+def test_uploads_similar_across_vendors(paired):
+    # Uploads are too slow for the methodology to matter much; the
+    # per-household upload ratio stays near 1.
+    ookla = np.asarray(paired["ookla_upload_mbps"], dtype=float)
+    mlab = np.asarray(paired["mlab_upload_mbps"], dtype=float)
+    ratio = np.median(ookla / mlab)
+    assert 0.9 < ratio < 1.5
+
+
+def test_plan_ground_truth_consistent(paired):
+    from repro.market import city_catalog
+
+    lookup = {
+        p.tier: (p.download_mbps, p.upload_mbps)
+        for p in city_catalog("A").plans
+    }
+    for i in range(0, len(paired), 97):
+        row = paired.row(i)
+        down, up = lookup[row["true_tier"]]
+        assert row["plan_download_mbps"] == down
+        assert row["plan_upload_mbps"] == up
+
+
+def test_deterministic():
+    a = generate_paired_tests("A", 50, seed=9)
+    b = generate_paired_tests("A", 50, seed=9)
+    assert a == b
+
+
+def test_invalid_user_count():
+    with pytest.raises(ValueError):
+        generate_paired_tests("A", 0)

@@ -1,0 +1,47 @@
+"""Tests for vendor schemas and shared samplers."""
+
+import numpy as np
+import pytest
+
+from repro.vendors.schema import (
+    DIURNAL_BIN_WEIGHTS,
+    sample_test_hour,
+    sample_test_month,
+)
+
+
+def test_diurnal_weights_sum_to_one():
+    assert sum(DIURNAL_BIN_WEIGHTS) == pytest.approx(1.0)
+
+
+def test_hours_in_range():
+    rng = np.random.default_rng(0)
+    hours = [sample_test_hour(rng) for _ in range(500)]
+    assert all(0 <= h <= 23 for h in hours)
+
+
+def test_overnight_is_least_popular():
+    rng = np.random.default_rng(1)
+    hours = np.asarray([sample_test_hour(rng) for _ in range(5000)])
+    bins = [np.mean((hours >= 6 * i) & (hours < 6 * (i + 1))) for i in range(4)]
+    assert bins[0] == min(bins)
+
+
+def test_months_in_range():
+    rng = np.random.default_rng(2)
+    months = [sample_test_month(rng) for _ in range(300)]
+    assert all(1 <= m <= 12 for m in months)
+
+
+def test_month_exclusion():
+    rng = np.random.default_rng(3)
+    months = [
+        sample_test_month(rng, excluded_months=(9, 10)) for _ in range(500)
+    ]
+    assert 9 not in months and 10 not in months
+
+
+def test_all_months_excluded():
+    rng = np.random.default_rng(4)
+    with pytest.raises(ValueError):
+        sample_test_month(rng, excluded_months=tuple(range(1, 13)))
