@@ -5,6 +5,10 @@ prints the rendered experiment report (visible with ``pytest -s`` and
 recorded in bench_output.txt), asserts the paper's qualitative shape, and
 times the regeneration via pytest-benchmark.
 
+Each run executes under a :mod:`repro.obs` span collector, so the report
+is followed by a per-stage timing table (span name, calls, total ms) and
+``result.timings`` carries the same numbers for downstream tooling.
+
 Dataset generation is memoised in :mod:`repro.experiments.data`, so one
 pytest session touches each simulated dataset once.
 """
@@ -14,9 +18,27 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import ExperimentResult, Scale, run_experiment
+from repro.obs import use_collector
 
 BENCH_SCALE = Scale.MEDIUM
 BENCH_SEED = 0
+
+
+def _stage_table(collector) -> str:
+    """Per-span-name timing summary of one benchmarked run."""
+    totals = collector.aggregate()
+    if not totals:
+        return "(no spans recorded)"
+    width = max(len(name) for name in totals)
+    lines = [f"{'stage'.ljust(width)}  calls  total ms"]
+    for name in sorted(
+        totals, key=lambda n: totals[n][1], reverse=True
+    ):
+        count, seconds = totals[name]
+        lines.append(
+            f"{name.ljust(width)}  {count:>5}  {seconds * 1e3:>8.1f}"
+        )
+    return "\n".join(lines)
 
 
 @pytest.fixture(scope="session")
@@ -31,10 +53,14 @@ def experiment_runner():
                 experiment_id, scale=BENCH_SCALE, seed=BENCH_SEED
             )
 
-        result = benchmark.pedantic(once, rounds=1, iterations=1)
+        with use_collector() as collector:
+            result = benchmark.pedantic(once, rounds=1, iterations=1)
         cache[experiment_id] = result
         print()
         print(result.render())
+        print()
+        print(f"-- per-stage spans ({experiment_id}) --")
+        print(_stage_table(collector))
         return result
 
     return run

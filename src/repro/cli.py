@@ -11,7 +11,10 @@ Subcommands cover the full reproduction workflow:
 - ``repro audit``: metadata audit + Section 8 recommendations for a CSV.
 - ``repro challenge``: challenge-process triage for a contextualised CSV.
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed``, and every command
+accepts the shared observability flags (``--log-level``, ``--log-format``,
+``--trace-out FILE.jsonl``, ``--metrics``, ``--profile``); see
+docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
@@ -38,6 +41,72 @@ from repro.vendors.ookla import OoklaSimulator
 __all__ = ["main", "build_parser"]
 
 
+def _obs_parent() -> argparse.ArgumentParser:
+    """Parent parser carrying the shared observability flags.
+
+    Every subcommand inherits these, so ``repro <cmd> --trace-out t.jsonl
+    --metrics`` works uniformly across the CLI.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability")
+    group.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="enable structured logging at this threshold (stderr)",
+    )
+    group.add_argument(
+        "--log-format", choices=("human", "json"), default="human",
+        help="log line format (with --log-level)",
+    )
+    group.add_argument(
+        "--trace-out", metavar="FILE.jsonl", default=None,
+        help="record pipeline spans and write them as JSON lines",
+    )
+    group.add_argument(
+        "--metrics", action="store_true",
+        help="print a metrics summary (counters/gauges/histograms)",
+    )
+    group.add_argument(
+        "--profile", action="store_true",
+        help="run under cProfile and print the top functions",
+    )
+    return parent
+
+
+def _add_seed(parser: argparse.ArgumentParser, default: int = 0) -> None:
+    """Shared ``--seed`` wiring (every command is deterministic per seed)."""
+    parser.add_argument("--seed", type=int, default=default)
+
+
+def _add_city(
+    parser: argparse.ArgumentParser,
+    required: bool = False,
+    default: str | None = "A",
+    flag: str = "--city",
+    help: str | None = None,
+) -> None:
+    """Shared city/state argument wiring."""
+    kwargs: dict = {"choices": CITY_IDS}
+    if required:
+        kwargs["required"] = True
+    else:
+        kwargs["default"] = default
+    if help:
+        kwargs["help"] = help
+    parser.add_argument(flag, **kwargs)
+
+
+def _add_scale(
+    parser: argparse.ArgumentParser, default: Scale | None = None
+) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=[s.value for s in Scale],
+        default=(default or Scale.MEDIUM).value,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -47,113 +116,100 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    obs = [_obs_parent()]
 
-    generate = sub.add_parser(
-        "generate", help="simulate a vendor dataset and write CSV"
+    def subparser(name: str, help: str) -> argparse.ArgumentParser:
+        return sub.add_parser(name, help=help, parents=obs)
+
+    generate = subparser(
+        "generate", "simulate a vendor dataset and write CSV"
     )
     generate.add_argument(
         "--vendor", choices=("ookla", "mlab", "mba"), required=True
     )
-    generate.add_argument(
-        "--city", choices=CITY_IDS, default="A",
-        help="city (or state, for MBA)",
-    )
+    _add_city(generate, help="city (or state, for MBA)")
     generate.add_argument("--n", type=int, default=20_000,
                           help="tests / sessions / rows to generate")
-    generate.add_argument("--seed", type=int, default=0)
+    _add_seed(generate)
     generate.add_argument("--out", required=True, help="output CSV path")
     generate.set_defaults(func=_cmd_generate)
 
-    join = sub.add_parser(
-        "join-ndt",
-        help="pair NDT upload records with downloads (120 s window)",
+    join = subparser(
+        "join-ndt", "pair NDT upload records with downloads (120 s window)"
     )
     join.add_argument("--input", required=True, help="raw NDT CSV")
     join.add_argument("--out", required=True, help="joined CSV path")
     join.add_argument("--window", type=float, default=120.0)
     join.set_defaults(func=_cmd_join)
 
-    ctx = sub.add_parser(
+    ctx = subparser(
         "contextualize",
-        help="run BST over a measurement CSV and write the augmented CSV",
+        "run BST over a measurement CSV and write the augmented CSV",
     )
     ctx.add_argument("--input", required=True)
-    ctx.add_argument("--city", choices=CITY_IDS, required=True)
+    _add_city(ctx, required=True)
     ctx.add_argument("--out", required=True)
     ctx.set_defaults(func=_cmd_contextualize)
 
-    evaluate = sub.add_parser(
-        "evaluate", help="score BST against an MBA panel's ground truth"
+    evaluate = subparser(
+        "evaluate", "score BST against an MBA panel's ground truth"
     )
-    evaluate.add_argument("--state", choices=CITY_IDS, default="A")
+    _add_city(evaluate, flag="--state")
     evaluate.add_argument("--n", type=int, default=12_000)
-    evaluate.add_argument("--seed", type=int, default=0)
+    _add_seed(evaluate)
     evaluate.set_defaults(func=_cmd_evaluate)
 
-    experiment = sub.add_parser(
-        "experiment", help="run one registered paper artifact"
+    experiment = subparser(
+        "experiment", "run one registered paper artifact"
     )
     experiment.add_argument("experiment_id", choices=sorted(REGISTRY))
-    experiment.add_argument(
-        "--scale",
-        choices=[s.value for s in Scale],
-        default=Scale.MEDIUM.value,
-    )
-    experiment.add_argument("--seed", type=int, default=0)
+    _add_scale(experiment)
+    _add_seed(experiment)
     experiment.set_defaults(func=_cmd_experiment)
 
-    list_cmd = sub.add_parser(
-        "list-experiments", help="list the registered paper artifacts"
+    list_cmd = subparser(
+        "list-experiments", "list the registered paper artifacts"
     )
     list_cmd.set_defaults(func=_cmd_list)
 
-    report_all = sub.add_parser(
-        "report-all",
-        help="run experiments and export reports to a directory",
+    report_all = subparser(
+        "report-all", "run experiments and export reports to a directory"
     )
     report_all.add_argument("--out-dir", required=True)
-    report_all.add_argument(
-        "--scale",
-        choices=[s.value for s in Scale],
-        default=Scale.SMALL.value,
-    )
-    report_all.add_argument("--seed", type=int, default=0)
+    _add_scale(report_all, default=Scale.SMALL)
+    _add_seed(report_all)
     report_all.add_argument(
         "--only", nargs="*", default=None,
         help="experiment ids to run (default: all)",
     )
     report_all.set_defaults(func=_cmd_report_all)
 
-    audit = sub.add_parser(
-        "audit",
-        help="metadata audit + Section 8 recommendations for a CSV",
+    audit = subparser(
+        "audit", "metadata audit + Section 8 recommendations for a CSV"
     )
     audit.add_argument("--input", required=True)
     audit.set_defaults(func=_cmd_audit)
 
-    challenge = sub.add_parser(
-        "challenge",
-        help="challenge-process triage over a contextualised CSV",
+    challenge = subparser(
+        "challenge", "challenge-process triage over a contextualised CSV"
     )
     challenge.add_argument("--input", required=True)
     challenge.add_argument("--ratio", type=float, default=0.5,
                            help="under-performance ratio threshold")
     challenge.set_defaults(func=_cmd_challenge)
 
-    describe = sub.add_parser(
-        "describe",
-        help="print a city's plan menu and the BST pipeline over it",
+    describe = subparser(
+        "describe", "print a city's plan menu and the BST pipeline over it"
     )
-    describe.add_argument("--city", choices=CITY_IDS, default="A")
+    _add_city(describe)
     describe.set_defaults(func=_cmd_describe)
 
-    dossier = sub.add_parser(
-        "dossier",
-        help="generate and render the full city dossier",
+    dossier = subparser(
+        "dossier", "generate and render the full city dossier"
     )
-    dossier.add_argument("--city", choices=CITY_IDS, default="A")
+    _add_city(dossier)
     dossier.add_argument("--n", type=int, default=20_000)
-    dossier.add_argument("--seed", type=int, default=0)
+    _add_seed(dossier)
     dossier.set_defaults(func=_cmd_dossier)
 
     return parser
@@ -314,11 +370,75 @@ def _cmd_dossier(args) -> int:
     return 0
 
 
+def _run_with_obs(args) -> int:
+    """Dispatch a parsed command inside the requested obs session.
+
+    With no obs flags this adds nothing: no collector, no registry, no
+    handlers -- the command runs exactly as before.  Otherwise the
+    requested sinks are installed around the command and their outputs
+    (metrics summary, trace file, profile) emitted after it returns.
+    """
+    from repro import obs
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import trace as obs_trace
+
+    if args.log_level:
+        obs.configure_logging(level=args.log_level, fmt=args.log_format)
+
+    collector = obs.SpanCollector() if args.trace_out else None
+    registry = obs.MetricsRegistry() if args.metrics else None
+    report = None
+
+    if collector is not None:
+        # Fail fast on an unwritable trace path rather than discovering
+        # it only after the (possibly long) command has finished.
+        try:
+            with open(args.trace_out, "w", encoding="utf-8"):
+                pass
+        except OSError as exc:
+            print(f"error: cannot write --trace-out: {exc}", file=sys.stderr)
+            return 2
+
+    # NB: "is not None" -- the collector/registry are sized containers,
+    # so an empty one is falsy.
+    prev_collector = (
+        obs_trace.set_collector(collector) if collector is not None else None
+    )
+    prev_registry = (
+        obs_metrics.set_registry(registry) if registry is not None else None
+    )
+    try:
+        if args.profile:
+            from repro.obs.profile import profile_block
+
+            with profile_block() as report:
+                code = args.func(args)
+        else:
+            code = args.func(args)
+    finally:
+        if collector is not None:
+            obs_trace.set_collector(prev_collector)
+        if registry is not None:
+            obs_metrics.set_registry(prev_registry)
+
+    if registry is not None:
+        print()
+        print(registry.render())
+    if collector is not None:
+        n_spans = collector.export_jsonl(args.trace_out)
+        print(f"wrote {n_spans} spans to {args.trace_out}")
+    if report is not None:
+        print()
+        print("-- profile (top 25 by cumulative time) --")
+        print(report.render())
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    return _run_with_obs(args)
 
 
 if __name__ == "__main__":

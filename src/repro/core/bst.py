@@ -21,10 +21,15 @@ import numpy as np
 
 from repro.core.config import BSTConfig
 from repro.market.plans import PlanCatalog, UploadGroup
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger, kv
+from repro.obs.trace import span
 from repro.stats.gmm import GaussianMixture
 from repro.stats.kde import GaussianKDE
 from repro.stats.kmeans import KMeans1D
 from repro.stats.peaks import count_density_peaks
+
+log = get_logger("core.bst")
 
 __all__ = ["BSTModel", "BSTResult", "UploadStageFit", "DownloadStageFit"]
 
@@ -170,6 +175,29 @@ class BSTModel:
         Returns the fit plus the per-measurement group index.
         """
         uploads = _clean(uploads)
+        with span("bst.fit_upload", n=int(uploads.size)) as sp:
+            fit, group_indices = self._fit_upload_stage(uploads)
+            sp.set(
+                kde_peaks=fit.kde_peak_count,
+                k=int(len(fit.component_means)),
+                n_iter=fit.n_iter,
+                converged=fit.converged,
+            )
+        obs_metrics.counter("bst.upload_fits").inc()
+        log.debug(
+            "upload stage fitted",
+            extra=kv(
+                n=int(uploads.size),
+                kde_peaks=fit.kde_peak_count,
+                n_iter=fit.n_iter,
+                converged=fit.converged,
+            ),
+        )
+        return fit, group_indices
+
+    def _fit_upload_stage(
+        self, uploads: np.ndarray
+    ) -> tuple[UploadStageFit, np.ndarray]:
         groups = self.catalog.upload_groups()
         k_groups = len(groups)
         if uploads.size < k_groups:
@@ -226,30 +254,32 @@ class BSTModel:
         )
 
         # Map each fitted component to its log-nearest offered upload.
-        component_groups = tuple(
-            int(np.argmin(np.abs(np.log(max(m, 1e-6)) - np.log(offered))))
-            for m in means
-        )
-        group_indices = np.asarray(
-            [component_groups[label] for label in labels], dtype=np.int64
-        )
-
-        # Per-group reported mean: the component nearest the offered
-        # speed among those mapped to the group (Table 3's cluster means).
-        cluster_means = np.full(k_groups, np.nan)
-        cluster_weights = np.zeros(k_groups)
-        for gi in range(k_groups):
-            members = [
-                ci for ci, g in enumerate(component_groups) if g == gi
-            ]
-            if not members:
-                continue
-            nearest = min(
-                members, key=lambda ci: abs(means[ci] - offered[gi])
+        with span("bst.assign", stage="upload", n=int(uploads.size)):
+            component_groups = tuple(
+                int(np.argmin(np.abs(np.log(max(m, 1e-6)) - np.log(offered))))
+                for m in means
             )
-            cluster_means[gi] = means[nearest]
-            cluster_weights[gi] = sum(weights[ci] for ci in members)
-        counts = np.bincount(group_indices, minlength=k_groups)
+            group_indices = np.asarray(
+                [component_groups[label] for label in labels], dtype=np.int64
+            )
+
+            # Per-group reported mean: the component nearest the offered
+            # speed among those mapped to the group (Table 3's cluster
+            # means).
+            cluster_means = np.full(k_groups, np.nan)
+            cluster_weights = np.zeros(k_groups)
+            for gi in range(k_groups):
+                members = [
+                    ci for ci, g in enumerate(component_groups) if g == gi
+                ]
+                if not members:
+                    continue
+                nearest = min(
+                    members, key=lambda ci: abs(means[ci] - offered[gi])
+                )
+                cluster_means[gi] = means[nearest]
+                cluster_weights[gi] = sum(weights[ci] for ci in members)
+            counts = np.bincount(group_indices, minlength=k_groups)
         fit = UploadStageFit(
             groups=groups,
             cluster_means=cluster_means,
@@ -280,24 +310,37 @@ class BSTModel:
         plans = group.plans
         if downloads.size == 0:
             raise ValueError("empty download sample for a populated group")
-        peak_count = count_density_peaks(
-            downloads,
-            num_grid=self.config.kde_grid_points,
-            min_prominence_frac=self.config.min_prominence_frac,
-            min_height_frac=self.config.min_height_frac,
-            log_space=self.config.kde_log_space,
-        )
-        # At least one cluster per offered plan; WiFi degradation can
-        # create more (the paper caps the extra structure at 10).
-        k = int(
-            np.clip(peak_count, len(plans), self.config.max_download_clusters)
-        )
-        k = min(k, downloads.size)
-        labels, means, weights, _, _ = self._cluster(downloads, k, None)
-        counts = np.bincount(labels, minlength=k)
-        cluster_tiers = tuple(
-            _nearest_plan_tier(m, plans) for m in means
-        )
+        with span(
+            "bst.fit_download",
+            group=group.tier_label,
+            n=int(downloads.size),
+        ) as sp:
+            peak_count = count_density_peaks(
+                downloads,
+                num_grid=self.config.kde_grid_points,
+                min_prominence_frac=self.config.min_prominence_frac,
+                min_height_frac=self.config.min_height_frac,
+                log_space=self.config.kde_log_space,
+            )
+            # At least one cluster per offered plan; WiFi degradation can
+            # create more (the paper caps the extra structure at 10).
+            k = int(
+                np.clip(
+                    peak_count, len(plans), self.config.max_download_clusters
+                )
+            )
+            k = min(k, downloads.size)
+            labels, means, weights, _, _ = self._cluster(downloads, k, None)
+            with span("bst.assign", stage="download", n=int(downloads.size)):
+                counts = np.bincount(labels, minlength=k)
+                cluster_tiers = tuple(
+                    _nearest_plan_tier(m, plans) for m in means
+                )
+                tiers = np.asarray(
+                    [cluster_tiers[label] for label in labels]
+                )
+            sp.set(kde_peaks=peak_count, k=k)
+        obs_metrics.counter("bst.download_fits").inc()
         fit = DownloadStageFit(
             group_index=group_index,
             cluster_means=means,
@@ -307,7 +350,6 @@ class BSTModel:
             kde_peak_count=peak_count,
             n_components=k,
         )
-        tiers = np.asarray([cluster_tiers[label] for label in labels])
         return fit, tiers
 
     # ------------------------------------------------------------------
@@ -322,18 +364,24 @@ class BSTModel:
             raise ValueError(
                 "BST input must be finite; filter NaNs before fitting"
             )
-        upload_fit, group_indices = self.fit_upload_stage(uploads)
-        tiers = np.zeros(len(downloads), dtype=np.int64)
-        download_stages: dict[int, DownloadStageFit] = {}
-        for gi, group in enumerate(upload_fit.groups):
-            member_rows = np.flatnonzero(group_indices == gi)
-            if member_rows.size == 0:
-                continue
-            stage, member_tiers = self.fit_download_stage(
-                downloads[member_rows], group, gi
-            )
-            download_stages[gi] = stage
-            tiers[member_rows] = member_tiers
+        with span(
+            "bst.fit", isp=self.catalog.isp_name, n=int(downloads.size)
+        ):
+            upload_fit, group_indices = self.fit_upload_stage(uploads)
+            tiers = np.zeros(len(downloads), dtype=np.int64)
+            download_stages: dict[int, DownloadStageFit] = {}
+            for gi, group in enumerate(upload_fit.groups):
+                member_rows = np.flatnonzero(group_indices == gi)
+                if member_rows.size == 0:
+                    continue
+                stage, member_tiers = self.fit_download_stage(
+                    downloads[member_rows], group, gi
+                )
+                download_stages[gi] = stage
+                tiers[member_rows] = member_tiers
+        obs_metrics.counter("bst.measurements_assigned").inc(
+            int(downloads.size)
+        )
         return BSTResult(
             catalog=self.catalog,
             upload_stage=upload_fit,

@@ -53,6 +53,11 @@ class ExperimentResult:
         exists.
     notes:
         Caveats (e.g. known calibration deltas).
+    timings:
+        Wall-clock seconds keyed by stage (span) name, recorded by
+        :func:`repro.experiments.registry.run_experiment` -- always
+        includes ``total_s``; per-stage entries appear when a span
+        collector is active (``repro.obs``).
     """
 
     experiment_id: str
@@ -61,6 +66,7 @@ class ExperimentResult:
     metrics: dict[str, float] = field(default_factory=dict)
     paper_values: dict[str, float] = field(default_factory=dict)
     notes: str = ""
+    timings: dict[str, float] = field(default_factory=dict)
 
     def render(self) -> str:
         """Full text report of the experiment."""
@@ -81,4 +87,8 @@ class ExperimentResult:
                     )
         if self.notes:
             lines.append(f"notes: {self.notes}")
+        if self.timings:
+            lines.append("-- timings --")
+            for key, seconds in self.timings.items():
+                lines.append(f"{key}: {seconds * 1e3:.1f} ms")
         return "\n".join(lines)

@@ -2,7 +2,11 @@
 
 from __future__ import annotations
 
+import time
 from typing import Callable
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import get_collector, span
 
 from repro.experiments.base import ExperimentResult, Scale
 from repro.experiments.exp_ablations import (
@@ -97,5 +101,29 @@ def run_experiment(
     scale: Scale = Scale.MEDIUM,
     seed: int = 0,
 ) -> ExperimentResult:
-    """Run one registered experiment."""
-    return get_experiment(experiment_id)(scale=scale, seed=seed)
+    """Run one registered experiment.
+
+    Always records the total wall time in ``result.timings["total_s"]``.
+    When a span collector is active (``repro.obs``), the run is wrapped
+    in an ``experiment.<id>`` span and per-stage span totals (seconds,
+    keyed by span name) are attached to ``timings`` as well.
+    """
+    runner = get_experiment(experiment_id)
+    collector = get_collector()
+    before = len(collector.spans()) if collector.enabled else 0
+    start = time.perf_counter()
+    with span("experiment." + experiment_id, scale=scale.value, seed=seed):
+        result = runner(scale=scale, seed=seed)
+    total = time.perf_counter() - start
+    obs_metrics.counter("experiments.run").inc()
+    if collector.enabled:
+        stage_totals: dict[str, float] = {}
+        for sp in collector.spans()[before:]:
+            stage_totals[sp.name] = (
+                stage_totals.get(sp.name, 0.0) + sp.duration_s
+            )
+        stage_totals.pop("experiment." + experiment_id, None)
+        for name in sorted(stage_totals):
+            result.timings[name] = stage_totals[name]
+    result.timings["total_s"] = total
+    return result

@@ -1,0 +1,58 @@
+"""Observability for the BST pipeline: logging, tracing, metrics, profiling.
+
+Everything here is zero-dependency (stdlib only) and **off by default**:
+the module-level span collector and metrics registry are no-op objects,
+so instrumented library code adds only a function call per stage until a
+caller opts in (the CLI's ``--log-level`` / ``--trace-out`` /
+``--metrics`` / ``--profile`` flags, or the ``use_collector`` /
+``use_registry`` context managers in tests and benchmarks).
+
+See docs/OBSERVABILITY.md for the span/metric naming convention.
+"""
+
+from __future__ import annotations
+
+from repro.obs.logging import configure_logging, get_logger, kv
+from repro.obs.metrics import (
+    MetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from repro.obs.trace import (
+    Span,
+    SpanCollector,
+    current_span,
+    get_collector,
+    set_collector,
+    span,
+    use_collector,
+)
+
+__all__ = [
+    "MetricsRegistry",
+    "ProfileReport",
+    "Span",
+    "SpanCollector",
+    "configure_logging",
+    "current_span",
+    "get_collector",
+    "get_logger",
+    "get_registry",
+    "kv",
+    "profile_block",
+    "set_collector",
+    "set_registry",
+    "span",
+    "use_collector",
+    "use_registry",
+]
+
+
+def __getattr__(name: str):
+    # cProfile/pstats load only when profiling is actually requested.
+    if name in ("profile_block", "ProfileReport"):
+        from repro.obs import profile as _profile
+
+        return getattr(_profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

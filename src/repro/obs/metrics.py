@@ -1,0 +1,275 @@
+"""Counters, gauges, and histograms for the BST pipeline.
+
+Instrumented code asks the active registry for a named instrument and
+updates it::
+
+    from repro.obs import metrics as obs_metrics
+    obs_metrics.counter("tests.generated").inc(len(table))
+    obs_metrics.histogram("em.iterations").observe(fit.n_iter)
+    obs_metrics.gauge("em.converged").set(1.0 if fit.converged else 0.0)
+
+Like tracing, metrics are **off by default**: the module-level registry
+is a null registry whose instruments are shared inert objects, so an
+``inc``/``observe``/``set`` in library code costs two attribute lookups
+when nobody is listening.  Install a :class:`MetricsRegistry` (via
+``set_registry`` or ``use_registry``) to start aggregating; ``render``
+turns the aggregate into the plain-text summary the CLI prints under
+``--metrics``.
+
+Naming convention: ``<module>.<quantity>`` (e.g. ``em.iterations``,
+``kde.peaks_found``, ``ndt_join.unmatched``); see docs/OBSERVABILITY.md.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "set_registry",
+    "use_registry",
+]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-written value (e.g. a convergence flag or a ratio)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = float("nan")
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming distribution summary: count / min / mean / max.
+
+    Keeps O(1) state (no raw samples), which is enough for the summary
+    table and safe for arbitrarily long runs.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+
+class _NullInstrument:
+    """Shared inert counter/gauge/histogram for the disabled registry."""
+
+    __slots__ = ()
+    name = ""
+    value = 0.0
+    count = 0
+    total = 0.0
+    mean = float("nan")
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class _NullRegistry:
+    """Default registry: hands out the shared inert instrument."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+
+class MetricsRegistry:
+    """Thread-safe named-instrument store."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name)
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name)
+            return inst
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Plain-dict view of every instrument (for tests / JSON export)."""
+        with self._lock:
+            out: dict[str, dict[str, float]] = {}
+            for name, c in self._counters.items():
+                out[name] = {"type": "counter", "value": c.value}
+            for name, g in self._gauges.items():
+                out[name] = {"type": "gauge", "value": g.value}
+            for name, h in self._histograms.items():
+                out[name] = {
+                    "type": "histogram",
+                    "count": h.count,
+                    "min": h.min,
+                    "mean": h.mean,
+                    "max": h.max,
+                }
+            return out
+
+    def __len__(self) -> int:
+        with self._lock:
+            return (
+                len(self._counters)
+                + len(self._gauges)
+                + len(self._histograms)
+            )
+
+    def render(self) -> str:
+        """Plain-text summary table, instruments sorted by name."""
+        rows: list[str] = ["-- metrics summary --"]
+        snap = self.snapshot()
+        if not snap:
+            rows.append("(no metrics recorded)")
+            return "\n".join(rows)
+        width = max(len(name) for name in snap)
+        for name in sorted(snap):
+            entry = snap[name]
+            if entry["type"] == "counter":
+                detail = f"counter    {entry['value']:g}"
+            elif entry["type"] == "gauge":
+                detail = f"gauge      {entry['value']:g}"
+            else:
+                detail = (
+                    f"histogram  n={entry['count']} "
+                    f"min={entry['min']:g} "
+                    f"mean={entry['mean']:.4g} "
+                    f"max={entry['max']:g}"
+                )
+            rows.append(f"{name.ljust(width)}  {detail}")
+        return "\n".join(rows)
+
+
+_registry: MetricsRegistry | _NullRegistry = _NullRegistry()
+
+
+def get_registry() -> MetricsRegistry | _NullRegistry:
+    """The active registry (a null registry when metrics are off)."""
+    return _registry
+
+
+def set_registry(
+    registry: MetricsRegistry | _NullRegistry | None,
+) -> MetricsRegistry | _NullRegistry:
+    """Install ``registry`` (None restores the null); returns the old one."""
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else _NullRegistry()
+    return previous
+
+
+@contextmanager
+def use_registry(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Scoped metrics: install a registry, restore the previous on exit.
+
+    >>> with use_registry() as reg:
+    ...     counter("demo.count").inc()
+    >>> reg.counter("demo.count").value
+    1.0
+    """
+    registry = registry or MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+def counter(name: str):
+    """The named counter in the active registry."""
+    return _registry.counter(name)
+
+
+def gauge(name: str):
+    """The named gauge in the active registry."""
+    return _registry.gauge(name)
+
+
+def histogram(name: str):
+    """The named histogram in the active registry."""
+    return _registry.histogram(name)

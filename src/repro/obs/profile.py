@@ -1,0 +1,62 @@
+"""On-demand ``cProfile`` wrapping for any span tree or code block.
+
+The CLI's ``--profile`` flag (and any caller that wants function-level
+attribution below the span granularity) wraps work in
+:func:`profile_block`::
+
+    with profile_block() as report:
+        run_experiment("tab2")
+    print(report.render())
+
+This module is imported lazily (``repro.obs`` exposes it via module
+``__getattr__``) so the profiler machinery stays out of un-instrumented
+runs.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ProfileReport", "profile_block"]
+
+
+class ProfileReport:
+    """Holds a finished profile; render on demand."""
+
+    def __init__(self) -> None:
+        self.profile: cProfile.Profile | None = None
+
+    def render(self, sort: str = "cumulative", limit: int = 25) -> str:
+        """Top ``limit`` functions by ``sort`` as plain text."""
+        if self.profile is None:
+            return "(profile still running)"
+        buffer = io.StringIO()
+        stats = pstats.Stats(self.profile, stream=buffer)
+        stats.sort_stats(sort).print_stats(limit)
+        return buffer.getvalue().rstrip()
+
+    def stats(self) -> pstats.Stats:
+        if self.profile is None:
+            raise RuntimeError("profile still running")
+        return pstats.Stats(self.profile)
+
+
+@contextmanager
+def profile_block() -> Iterator[ProfileReport]:
+    """Run the enclosed block under ``cProfile``.
+
+    The report is populated when the block exits (including on error),
+    so ``report.render()`` inside the block returns a placeholder.
+    """
+    report = ProfileReport()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield report
+    finally:
+        profiler.disable()
+        report.profile = profiler

@@ -16,7 +16,12 @@ from repro.core.bst import BSTModel, BSTResult
 from repro.core.config import BSTConfig
 from repro.frame import ColumnTable
 from repro.market.plans import PlanCatalog
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger, kv
+from repro.obs.trace import span
 from repro.stats.descriptive import normalized_values
+
+log = get_logger("pipeline.contextualize")
 
 __all__ = ["contextualize", "ContextualizedDataset"]
 
@@ -82,28 +87,49 @@ def contextualize(
     finite = np.isfinite(downloads) & np.isfinite(uploads)
     if not finite.any():
         raise ValueError("no finite (download, upload) pairs to contextualize")
-    clean = table.filter(finite)
-    downloads = downloads[finite]
-    uploads = uploads[finite]
+    with span(
+        "contextualize",
+        isp=catalog.isp_name,
+        n_rows=int(len(table)),
+        n_dropped=int(len(table) - finite.sum()),
+    ):
+        clean = table.filter(finite)
+        downloads = downloads[finite]
+        uploads = uploads[finite]
 
-    model = BSTModel(catalog, config)
-    result = model.fit(downloads, uploads)
+        model = BSTModel(catalog, config)
+        result = model.fit(downloads, uploads)
 
-    plan_down = result.plan_download_for_rows()
-    plan_up = result.plan_upload_for_rows()
-    augmented = (
-        clean.with_column("bst_tier", result.tiers)
-        .with_column(
-            "bst_group", np.asarray(result.group_label_for_rows(), dtype=object)
-        )
-        .with_column("plan_download_mbps", plan_down)
-        .with_column("plan_upload_mbps", plan_up)
-        .with_column(
-            "normalized_download", normalized_values(downloads, plan_down)
-        )
-        .with_column(
-            "normalized_upload", normalized_values(uploads, plan_up)
-        )
+        with span("contextualize.augment", n=int(len(clean))):
+            plan_down = result.plan_download_for_rows()
+            plan_up = result.plan_upload_for_rows()
+            augmented = (
+                clean.with_column("bst_tier", result.tiers)
+                .with_column(
+                    "bst_group",
+                    np.asarray(result.group_label_for_rows(), dtype=object),
+                )
+                .with_column("plan_download_mbps", plan_down)
+                .with_column("plan_upload_mbps", plan_up)
+                .with_column(
+                    "normalized_download",
+                    normalized_values(downloads, plan_down),
+                )
+                .with_column(
+                    "normalized_upload", normalized_values(uploads, plan_up)
+                )
+            )
+    obs_metrics.counter("contextualize.rows").inc(int(len(augmented)))
+    obs_metrics.counter("contextualize.rows_dropped").inc(
+        int(len(table) - len(augmented))
+    )
+    log.info(
+        "contextualized measurement table",
+        extra=kv(
+            isp=catalog.isp_name,
+            rows=int(len(augmented)),
+            dropped=int(len(table) - len(augmented)),
+        ),
     )
     return ContextualizedDataset(
         table=augmented, bst_result=result, catalog=catalog

@@ -16,10 +16,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.frame import ColumnTable
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger, kv
+from repro.obs.trace import span
 
 __all__ = ["join_ndt_tests", "DEFAULT_WINDOW_S"]
 
 DEFAULT_WINDOW_S = 120.0
+
+log = get_logger("pipeline.ndt_join")
 
 
 def join_ndt_tests(
@@ -53,47 +58,64 @@ def join_ndt_tests(
     if missing:
         raise KeyError(f"NDT table missing columns: {sorted(missing)}")
 
-    directions = ndt_table["direction"]
-    downloads = ndt_table.filter(directions == "download")
-    uploads = ndt_table.filter(directions == "upload")
+    with span(
+        "ndt_join.join", n_records=int(len(ndt_table)), window_s=window_s
+    ) as sp:
+        directions = ndt_table["direction"]
+        downloads = ndt_table.filter(directions == "download")
+        uploads = ndt_table.filter(directions == "upload")
 
-    # Index uploads by (client_ip, server_ip) with sorted timestamps for
-    # binary-search matching.
-    upload_index: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
-    up_clients = uploads["client_ip"]
-    up_servers = uploads["server_ip"]
-    up_times = np.asarray(uploads["timestamp_s"], dtype=float)
-    up_speeds = np.asarray(uploads["speed_mbps"], dtype=float)
-    buckets: dict[tuple, list[int]] = {}
-    for i in range(len(uploads)):
-        buckets.setdefault((up_clients[i], up_servers[i]), []).append(i)
-    for key, rows in buckets.items():
-        rows_arr = np.asarray(rows)
-        order = np.argsort(up_times[rows_arr], kind="stable")
-        sorted_rows = rows_arr[order]
-        upload_index[key] = (up_times[sorted_rows], up_speeds[sorted_rows])
+        # Index uploads by (client_ip, server_ip) with sorted timestamps
+        # for binary-search matching.
+        upload_index: dict[tuple, tuple[np.ndarray, np.ndarray]] = {}
+        up_clients = uploads["client_ip"]
+        up_servers = uploads["server_ip"]
+        up_times = np.asarray(uploads["timestamp_s"], dtype=float)
+        up_speeds = np.asarray(uploads["speed_mbps"], dtype=float)
+        buckets: dict[tuple, list[int]] = {}
+        for i in range(len(uploads)):
+            buckets.setdefault((up_clients[i], up_servers[i]), []).append(i)
+        for key, rows in buckets.items():
+            rows_arr = np.asarray(rows)
+            order = np.argsort(up_times[rows_arr], kind="stable")
+            sorted_rows = rows_arr[order]
+            upload_index[key] = (
+                up_times[sorted_rows], up_speeds[sorted_rows]
+            )
 
-    matched_rows: list[int] = []
-    matched_uploads: list[float] = []
-    dl_clients = downloads["client_ip"]
-    dl_servers = downloads["server_ip"]
-    dl_times = np.asarray(downloads["timestamp_s"], dtype=float)
-    for i in range(len(downloads)):
-        key = (dl_clients[i], dl_servers[i])
-        entry = upload_index.get(key)
-        if entry is None:
-            continue
-        times, speeds = entry
-        start = dl_times[i]
-        # Earliest upload with start <= t <= start + window.
-        lo = int(np.searchsorted(times, start, side="left"))
-        if lo < times.size and times[lo] <= start + window_s:
-            matched_rows.append(i)
-            matched_uploads.append(float(speeds[lo]))
+        matched_rows: list[int] = []
+        matched_uploads: list[float] = []
+        dl_clients = downloads["client_ip"]
+        dl_servers = downloads["server_ip"]
+        dl_times = np.asarray(downloads["timestamp_s"], dtype=float)
+        for i in range(len(downloads)):
+            key = (dl_clients[i], dl_servers[i])
+            entry = upload_index.get(key)
+            if entry is None:
+                continue
+            times, speeds = entry
+            start = dl_times[i]
+            # Earliest upload with start <= t <= start + window.
+            lo = int(np.searchsorted(times, start, side="left"))
+            if lo < times.size and times[lo] <= start + window_s:
+                matched_rows.append(i)
+                matched_uploads.append(float(speeds[lo]))
 
-    joined = downloads.take(np.asarray(matched_rows, dtype=np.intp))
-    joined = joined.rename({"speed_mbps": "download_mbps"})
-    joined = joined.without_columns(["direction"])
+        joined = downloads.take(np.asarray(matched_rows, dtype=np.intp))
+        joined = joined.rename({"speed_mbps": "download_mbps"})
+        joined = joined.without_columns(["direction"])
+        unmatched = int(len(downloads) - len(matched_rows))
+        sp.set(matched=int(len(matched_rows)), unmatched=unmatched)
+    obs_metrics.counter("ndt_join.matched").inc(len(matched_rows))
+    obs_metrics.counter("ndt_join.unmatched").inc(unmatched)
+    log.info(
+        "joined NDT records",
+        extra=kv(
+            downloads=int(len(downloads)),
+            matched=int(len(matched_rows)),
+            unmatched=unmatched,
+        ),
+    )
     return joined.with_column(
         "upload_mbps", np.asarray(matched_uploads, dtype=float)
     )

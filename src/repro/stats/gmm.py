@@ -16,9 +16,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger, kv
+from repro.obs.trace import span
+
 __all__ = ["GaussianMixture", "GMMFitResult", "select_components_bic"]
 
 _LOG_2PI = math.log(2.0 * math.pi)
+
+log = get_logger("stats.gmm")
 
 
 @dataclass
@@ -172,6 +178,28 @@ class GaussianMixture:
             raise ValueError(
                 f"need at least {self.n_components} samples, got {values.size}"
             )
+        with span("gmm.fit", k=self.n_components, n=int(values.size)) as sp:
+            result = self._fit(values)
+            sp.set(n_iter=result.n_iter, converged=result.converged)
+        obs_metrics.histogram("em.iterations").observe(result.n_iter)
+        obs_metrics.histogram("em.log_likelihood").observe(
+            result.log_likelihood
+        )
+        if not result.converged:
+            obs_metrics.counter("em.unconverged").inc()
+            log.warning(
+                "EM hit the iteration cap before meeting tolerance",
+                extra=kv(
+                    k=self.n_components,
+                    n=int(values.size),
+                    max_iter=self.max_iter,
+                    tol=self.tol,
+                    log_likelihood=result.log_likelihood,
+                ),
+            )
+        return result
+
+    def _fit(self, values: np.ndarray) -> GMMFitResult:
         sample_var = float(np.var(values))
         var_floor = max(self.var_floor_frac * sample_var, 1e-12)
 

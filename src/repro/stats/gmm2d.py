@@ -20,9 +20,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger, kv
+from repro.obs.trace import span
+
 __all__ = ["GaussianMixture2D", "GMM2DFitResult"]
 
 _LOG_2PI = math.log(2.0 * math.pi)
+
+log = get_logger("stats.gmm2d")
 
 
 @dataclass
@@ -152,6 +158,26 @@ class GaussianMixture2D:
                 f"need at least {self.n_components} samples, "
                 f"got {data.shape[0]}"
             )
+        with span(
+            "gmm2d.fit", k=self.n_components, n=int(data.shape[0])
+        ) as sp:
+            result = self._fit(data)
+            sp.set(n_iter=result.n_iter, converged=result.converged)
+        obs_metrics.histogram("em2d.iterations").observe(result.n_iter)
+        if not result.converged:
+            obs_metrics.counter("em2d.unconverged").inc()
+            log.warning(
+                "2-D EM hit the iteration cap before meeting tolerance",
+                extra=kv(
+                    k=self.n_components,
+                    n=int(data.shape[0]),
+                    max_iter=self.max_iter,
+                    tol=self.tol,
+                ),
+            )
+        return result
+
+    def _fit(self, data: np.ndarray) -> GMM2DFitResult:
         sample_var = np.var(data, axis=0)
         var_floor = np.maximum(self.var_floor_frac * sample_var, 1e-12)
 

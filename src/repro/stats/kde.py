@@ -13,6 +13,8 @@ import math
 
 import numpy as np
 
+from repro.obs.trace import span
+
 __all__ = ["GaussianKDE", "silverman_bandwidth", "scott_bandwidth"]
 
 _SQRT_2PI = math.sqrt(2.0 * math.pi)
@@ -138,7 +140,8 @@ class GaussianKDE:
         if hi <= lo:
             hi = lo + max(1e-9, abs(lo) * 1e-9)
         points = np.linspace(lo, hi, num)
-        return points, self.evaluate(points)
+        with span("kde.grid", n=int(self.values.size), num=num):
+            return points, self.evaluate(points)
 
     def integrate(self, lo: float, hi: float) -> float:
         """Probability mass on ``[lo, hi]`` under the estimate.

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.stats.kde import GaussianKDE
 
 __all__ = ["DensityPeak", "find_density_peaks", "count_density_peaks"]
@@ -152,12 +154,18 @@ def count_density_peaks(
         if values.size == 0:
             raise ValueError("log-space peak counting needs positive values")
         values = np.log(values)
-    kde = GaussianKDE(values, bandwidth=bandwidth)
-    grid, density = kde.grid(num=num_grid)
-    peaks = find_density_peaks(
-        grid,
-        density,
-        min_prominence_frac=min_prominence_frac,
-        min_height_frac=min_height_frac,
-    )
-    return max(1, len(peaks))
+    with span(
+        "kde.count_peaks", n=int(values.size), log_space=log_space
+    ) as sp:
+        kde = GaussianKDE(values, bandwidth=bandwidth)
+        grid, density = kde.grid(num=num_grid)
+        peaks = find_density_peaks(
+            grid,
+            density,
+            min_prominence_frac=min_prominence_frac,
+            min_height_frac=min_height_frac,
+        )
+        count = max(1, len(peaks))
+        sp.set(peaks=count)
+    obs_metrics.histogram("kde.peaks_found").observe(count)
+    return count

@@ -21,6 +21,8 @@ from repro.market.isps import state_catalog
 from repro.market.plans import PlanCatalog
 from repro.market.population import Household, Subscriber
 from repro.netsim.path import WIRED_PANEL_PROFILE, FlowProfile, PathSimulator
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.vendors.schema import MBA_COLUMNS
 
 __all__ = ["MBASimulator", "MBA_UNITS_PER_STATE"]
@@ -141,6 +143,17 @@ class MBASimulator:
         ``tests_per_day`` times daily across the ten available months
         (~24k rows for the State-A panel, matching Table 1's 25.9k scale).
         """
+        with span(
+            "vendor.mba.generate",
+            state=self.state,
+            n_tests=-1 if n_tests is None else n_tests,
+        ) as sp:
+            table = self._generate(n_tests)
+            sp.set(rows=len(table))
+        obs_metrics.counter("tests.generated").inc(len(table))
+        return table
+
+    def _generate(self, n_tests: int | None) -> ColumnTable:
         units = self.build_units()
         rng = np.random.default_rng(self.seed + 11)
         days_per_month = 30

@@ -28,6 +28,8 @@ from repro.market.population import (
 from repro.netsim.latency import LatencyModel
 from repro.netsim.path import SINGLE_FLOW_NDT_PROFILE, FlowProfile, PathSimulator
 from repro.netsim.servers import MLAB_POOL
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.vendors.schema import MLAB_COLUMNS, sample_test_hour, sample_test_month
 
 __all__ = ["MLabSimulator"]
@@ -92,6 +94,15 @@ class MLabSimulator:
         """
         if n_sessions < 0:
             raise ValueError("n_sessions cannot be negative")
+        with span(
+            "vendor.mlab.generate", city=self.city, n_sessions=n_sessions
+        ) as sp:
+            table = self._generate(n_sessions)
+            sp.set(rows=len(table))
+        obs_metrics.counter("tests.generated").inc(len(table))
+        return table
+
+    def _generate(self, n_sessions: int) -> ColumnTable:
         rng = np.random.default_rng(self.seed + 2)
         users = self.population.generate_users(
             n_sessions, seed=self.seed + 3

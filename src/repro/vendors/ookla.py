@@ -24,6 +24,8 @@ from repro.market.population import (
 from repro.netsim.latency import LatencyModel
 from repro.netsim.path import MULTI_FLOW_PROFILE, FlowProfile, PathSimulator
 from repro.netsim.servers import OOKLA_POOL
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
 from repro.vendors.schema import OOKLA_COLUMNS, sample_test_hour, sample_test_month
 
 __all__ = ["OoklaSimulator"]
@@ -101,6 +103,15 @@ class OoklaSimulator:
         Each subscriber contributes their full test count, so the output
         has at least ``n_tests`` rows (a user's tests are never split).
         """
+        with span(
+            "vendor.ookla.generate", city=self.city, n_tests=n_tests
+        ) as sp:
+            table = self._generate(n_tests)
+            sp.set(rows=len(table))
+        obs_metrics.counter("tests.generated").inc(len(table))
+        return table
+
+    def _generate(self, n_tests: int) -> ColumnTable:
         users = self.generate_users(n_tests)
         rng = np.random.default_rng(self.seed + 1)
         columns: dict[str, list] = {name: [] for name in OOKLA_COLUMNS}

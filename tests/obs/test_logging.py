@@ -1,0 +1,113 @@
+"""Tests for the structured logger and its two formats."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    JsonFormatter,
+    configure_logging,
+    get_logger,
+    kv,
+    reset_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_handlers():
+    yield
+    reset_logging()
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self):
+        assert get_logger("stats.gmm").name == "repro.stats.gmm"
+
+    def test_root(self):
+        assert get_logger().name == "repro"
+
+    def test_already_namespaced_untouched(self):
+        assert get_logger("repro.core.bst").name == "repro.core.bst"
+
+    def test_quiet_by_default(self):
+        # The package root has a NullHandler, so un-configured warnings
+        # never reach the stdlib last-resort stderr handler.
+        handlers = logging.getLogger("repro").handlers
+        assert any(
+            isinstance(h, logging.NullHandler) for h in handlers
+        )
+
+
+class TestJsonFormat:
+    def test_lines_parse_and_carry_kv(self):
+        stream = io.StringIO()
+        configure_logging(level="info", fmt="json", stream=stream)
+        get_logger("stats.gmm").warning(
+            "EM hit the iteration cap", extra=kv(k=4, n_iter=200)
+        )
+        row = json.loads(stream.getvalue())
+        assert row["level"] == "warning"
+        assert row["logger"] == "repro.stats.gmm"
+        assert row["message"] == "EM hit the iteration cap"
+        assert row["k"] == 4
+        assert row["n_iter"] == 200
+        assert isinstance(row["ts"], float)
+
+    def test_level_threshold(self):
+        stream = io.StringIO()
+        configure_logging(level="error", fmt="json", stream=stream)
+        get_logger("x").warning("dropped")
+        get_logger("x").error("kept")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["message"] == "kept"
+
+
+class TestHumanFormat:
+    def test_single_line_with_kv(self):
+        stream = io.StringIO()
+        configure_logging(level="debug", fmt="human", stream=stream)
+        get_logger("core.bst").debug(
+            "upload stage fitted", extra=kv(n=100, converged=True)
+        )
+        line = stream.getvalue().strip()
+        assert line.startswith("DEBUG")
+        assert "repro.core.bst" in line
+        assert "n=100" in line
+        assert "converged=True" in line
+
+
+class TestConfigure:
+    def test_reconfigure_does_not_stack_handlers(self):
+        stream = io.StringIO()
+        configure_logging(level="info", fmt="human", stream=stream)
+        configure_logging(level="info", fmt="human", stream=stream)
+        get_logger("x").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            configure_logging(level="loud")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="unknown log format"):
+            configure_logging(fmt="xml")
+
+    def test_exception_info_rendered(self):
+        stream = io.StringIO()
+        configure_logging(level="error", fmt="json", stream=stream)
+        try:
+            raise ValueError("inner")
+        except ValueError:
+            get_logger("x").exception("failed")
+        row = json.loads(stream.getvalue())
+        assert "inner" in row["exc_info"]
+
+    def test_json_formatter_standalone(self):
+        record = logging.LogRecord(
+            "repro.t", logging.INFO, __file__, 1, "hello", (), None
+        )
+        row = json.loads(JsonFormatter().format(record))
+        assert row["message"] == "hello"

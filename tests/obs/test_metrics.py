@@ -1,0 +1,132 @@
+"""Tests for counter/gauge/histogram aggregation and the summary."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    set_registry,
+    use_registry,
+)
+
+
+class TestNullDefault:
+    def test_default_registry_is_disabled(self):
+        assert not get_registry().enabled
+
+    def test_null_instruments_are_inert(self):
+        counter("noop.count").inc(5)
+        gauge("noop.gauge").set(1.0)
+        histogram("noop.hist").observe(2.0)
+        with use_registry() as reg:
+            pass
+        assert len(reg) == 0
+
+
+class TestCounter:
+    def test_accumulates(self):
+        with use_registry() as reg:
+            counter("c").inc()
+            counter("c").inc(4)
+        assert reg.counter("c").value == 5.0
+
+    def test_rejects_negative(self):
+        with use_registry():
+            with pytest.raises(ValueError, match="counters only go up"):
+                counter("c").inc(-1)
+
+    def test_same_name_same_instrument(self):
+        with use_registry():
+            assert counter("x") is counter("x")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        with use_registry() as reg:
+            gauge("g").set(3)
+            gauge("g").set(7)
+        assert reg.gauge("g").value == 7.0
+
+    def test_unset_gauge_is_nan(self):
+        with use_registry() as reg:
+            pass
+        assert math.isnan(reg.gauge("fresh").value)
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        with use_registry() as reg:
+            for v in (1.0, 2.0, 3.0, 10.0):
+                histogram("h").observe(v)
+        h = reg.histogram("h")
+        assert h.count == 4
+        assert h.min == 1.0
+        assert h.max == 10.0
+        assert h.mean == 4.0
+
+    def test_empty_mean_is_nan(self):
+        with use_registry() as reg:
+            pass
+        assert math.isnan(reg.histogram("empty").mean)
+
+
+class TestRegistry:
+    def test_snapshot_types(self):
+        with use_registry() as reg:
+            counter("a.count").inc(2)
+            gauge("a.gauge").set(0.5)
+            histogram("a.hist").observe(9)
+        snap = reg.snapshot()
+        assert snap["a.count"] == {"type": "counter", "value": 2.0}
+        assert snap["a.gauge"] == {"type": "gauge", "value": 0.5}
+        assert snap["a.hist"]["type"] == "histogram"
+        assert snap["a.hist"]["count"] == 1
+
+    def test_render_sorted_and_labelled(self):
+        with use_registry() as reg:
+            counter("z.last").inc()
+            histogram("a.first").observe(3)
+        text = reg.render()
+        assert text.startswith("-- metrics summary --")
+        assert text.index("a.first") < text.index("z.last")
+        assert "counter" in text and "histogram" in text
+        assert "n=1" in text
+
+    def test_render_empty(self):
+        assert "(no metrics recorded)" in MetricsRegistry().render()
+
+    def test_use_registry_restores_previous(self):
+        before = get_registry()
+        with use_registry():
+            assert get_registry() is not before
+        assert get_registry() is before
+
+    def test_set_registry_none_restores_null(self):
+        previous = set_registry(MetricsRegistry())
+        try:
+            assert get_registry().enabled
+        finally:
+            set_registry(None)
+            assert not get_registry().enabled
+            set_registry(previous)
+
+    def test_thread_safety(self):
+        def worker():
+            for _ in range(500):
+                counter("t.count").inc()
+
+        with use_registry() as reg:
+            threads = [
+                threading.Thread(target=worker) for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert reg.counter("t.count").value == 2000.0

@@ -1,0 +1,67 @@
+"""Observability must be free when nobody opts in.
+
+The acceptance bar: with the default no-op collector and null registry,
+``contextualize()`` emits nothing (no spans, no metrics, no log output)
+and the instrumentation adds no measurable overhead; the profiler
+machinery (``cProfile``/``pstats``) must not even be imported by the
+pipeline.
+"""
+
+import subprocess
+import sys
+import time
+
+from repro.obs.metrics import get_registry, use_registry
+from repro.obs.trace import get_collector, span, use_collector
+from repro.pipeline.contextualize import contextualize
+
+
+class TestDisabledByDefault:
+    def test_contextualize_emits_nothing(self, ookla_a, catalog_a, capfd):
+        ctx = contextualize(ookla_a.head(1500), catalog_a)
+        assert len(ctx) == 1500
+        # Default sinks stayed inert...
+        assert not get_collector().enabled
+        assert not get_registry().enabled
+        # ...and nothing was printed or logged.
+        captured = capfd.readouterr()
+        assert captured.out == ""
+        assert captured.err == ""
+
+    def test_no_spans_leak_into_later_collectors(
+        self, ookla_a, catalog_a
+    ):
+        contextualize(ookla_a.head(1500), catalog_a)
+        with use_collector() as collector, use_registry() as registry:
+            pass
+        assert len(collector) == 0
+        assert len(registry) == 0
+
+    def test_noop_span_overhead_is_negligible(self):
+        # 10k disabled spans must be far cheaper than a single BST fit;
+        # a generous wall-clock bound keeps this robust on slow CI.
+        n = 10_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with span("noop.overhead", n=1) as sp:
+                sp.set(k=2)
+        elapsed = time.perf_counter() - start
+        assert elapsed / n < 50e-6, f"{elapsed / n * 1e6:.1f} us per span"
+
+
+class TestLazyImports:
+    def test_pipeline_does_not_import_profiler(self):
+        # The profiling hook loads cProfile only on demand; importing
+        # (and running) the pipeline must not pull it in.
+        code = (
+            "import sys\n"
+            "import numpy as np\n"
+            "from repro.pipeline.contextualize import contextualize\n"
+            "import repro.cli\n"
+            "assert 'cProfile' not in sys.modules, 'cProfile imported'\n"
+            "assert 'pstats' not in sys.modules, 'pstats imported'\n"
+            "assert 'repro.obs.profile' not in sys.modules\n"
+        )
+        subprocess.run(
+            [sys.executable, "-c", code], check=True
+        )

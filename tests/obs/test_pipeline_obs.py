@@ -1,0 +1,109 @@
+"""Integration: the instrumented pipeline emits the expected telemetry.
+
+Also guards the other direction: observability must not change results
+-- a contextualize run under full collection is identical to one with
+the default no-op sinks.
+"""
+
+import numpy as np
+
+from repro.obs import use_collector, use_registry
+from repro.pipeline.contextualize import contextualize
+from repro.pipeline.ndt_join import join_ndt_tests
+
+
+class TestPipelineSpans:
+    def test_contextualize_span_tree(self, ookla_a, catalog_a):
+        with use_collector() as collector:
+            contextualize(ookla_a.head(1500), catalog_a)
+        names = {sp.name for sp in collector.spans()}
+        # The acceptance bar: nested spans for the KDE, GMM-EM, and
+        # assignment stages under the per-stage fits.
+        assert {
+            "contextualize",
+            "bst.fit",
+            "bst.fit_upload",
+            "bst.fit_download",
+            "kde.count_peaks",
+            "gmm.fit",
+            "bst.assign",
+        } <= names
+        roots = [sp for sp in collector.spans() if sp.parent_id is None]
+        assert [sp.name for sp in roots] == ["contextualize"]
+        (upload,) = collector.find("bst.fit_upload")
+        assert upload.attributes["converged"] in (True, False)
+        assert upload.attributes["n_iter"] >= 1
+
+    def test_contextualize_metrics(self, ookla_a, catalog_a):
+        with use_registry() as registry:
+            ctx = contextualize(ookla_a.head(1500), catalog_a)
+        snap = registry.snapshot()
+        assert snap["contextualize.rows"]["value"] == len(ctx)
+        assert snap["em.iterations"]["count"] >= 2  # upload + downloads
+        assert snap["em.iterations"]["min"] >= 1
+        assert snap["kde.peaks_found"]["min"] >= 1
+        assert snap["bst.upload_fits"]["value"] == 1
+
+    def test_ndt_join_span_and_metrics(self, mlab_raw_a):
+        with use_collector() as collector, use_registry() as registry:
+            joined = join_ndt_tests(mlab_raw_a)
+        (sp,) = collector.find("ndt_join.join")
+        assert sp.attributes["matched"] == len(joined)
+        assert sp.attributes["unmatched"] >= 0
+        snap = registry.snapshot()
+        assert snap["ndt_join.matched"]["value"] == len(joined)
+        assert (
+            snap["ndt_join.matched"]["value"]
+            + snap["ndt_join.unmatched"]["value"]
+            > 0
+        )
+
+    def test_vendor_generation_metrics(self):
+        from repro.vendors.ookla import OoklaSimulator
+
+        with use_collector() as collector, use_registry() as registry:
+            table = OoklaSimulator("A", seed=7).generate(300)
+        (sp,) = collector.find("vendor.ookla.generate")
+        assert sp.attributes["rows"] == len(table)
+        assert (
+            registry.snapshot()["tests.generated"]["value"] == len(table)
+        )
+
+
+class TestObservabilityIsInert:
+    def test_results_identical_with_and_without_obs(
+        self, ookla_a, catalog_a
+    ):
+        sample = ookla_a.head(1500)
+        plain = contextualize(sample, catalog_a)
+        with use_collector(), use_registry():
+            observed = contextualize(sample, catalog_a)
+        np.testing.assert_array_equal(
+            np.asarray(plain.table["bst_tier"]),
+            np.asarray(observed.table["bst_tier"]),
+        )
+        np.testing.assert_allclose(
+            np.asarray(plain.table["normalized_download"], dtype=float),
+            np.asarray(observed.table["normalized_download"], dtype=float),
+        )
+
+
+class TestExperimentTimings:
+    def test_run_experiment_records_timings(self):
+        from repro.experiments import Scale, run_experiment
+        from repro.obs import use_collector
+
+        # A seed no other test uses: dataset memoisation would otherwise
+        # satisfy the run from cache and emit no stage spans.
+        with use_collector():
+            result = run_experiment("fig10", scale=Scale.SMALL, seed=202)
+        assert result.timings["total_s"] > 0
+        stage_names = set(result.timings) - {"total_s"}
+        assert stage_names, "per-stage span totals missing"
+        assert "-- timings --" in result.render()
+
+    def test_total_recorded_without_collector(self):
+        from repro.experiments import Scale, run_experiment
+
+        result = run_experiment("fig10", scale=Scale.SMALL, seed=0)
+        assert set(result.timings) == {"total_s"}

@@ -1,0 +1,47 @@
+"""Tests for the cProfile wrapper."""
+
+import pytest
+
+from repro.obs.profile import profile_block
+
+
+def _busy() -> float:
+    return sum(i * 0.5 for i in range(10_000))
+
+
+class TestProfileBlock:
+    def test_captures_function_stats(self):
+        with profile_block() as report:
+            _busy()
+        text = report.render()
+        assert "_busy" in text
+        assert "cumulative" in text or "cumtime" in text
+
+    def test_placeholder_while_running(self):
+        with profile_block() as report:
+            assert report.render() == "(profile still running)"
+        assert report.render() != "(profile still running)"
+
+    def test_populated_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with profile_block() as report:
+                _busy()
+                raise RuntimeError("boom")
+        assert "_busy" in report.render()
+
+    def test_stats_object(self):
+        with profile_block() as report:
+            _busy()
+        assert report.stats().total_calls > 0
+
+    def test_stats_before_finish_raises(self):
+        with profile_block() as report:
+            with pytest.raises(RuntimeError, match="still running"):
+                report.stats()
+
+    def test_render_limit(self):
+        with profile_block() as report:
+            _busy()
+        short = report.render(limit=1)
+        long = report.render(limit=25)
+        assert len(short) <= len(long)

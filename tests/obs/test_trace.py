@@ -1,0 +1,200 @@
+"""Tests for span nesting, timing, attributes, and JSONL export."""
+
+import json
+import threading
+import time
+
+from repro.obs.trace import (
+    SpanCollector,
+    current_span,
+    get_collector,
+    set_collector,
+    span,
+    use_collector,
+)
+
+
+class TestNoopDefault:
+    def test_default_collector_is_disabled(self):
+        assert not get_collector().enabled
+
+    def test_span_records_nothing_by_default(self):
+        with span("default.noop", n=1) as sp:
+            sp.set(extra=2)
+        assert not get_collector().enabled
+
+    def test_current_span_is_inert_by_default(self):
+        sp = current_span()
+        assert sp.set(foo=1) is sp
+
+
+class TestNestingAndTiming:
+    def test_parent_child_links(self):
+        with use_collector() as collector:
+            with span("outer") as outer:
+                with span("inner") as inner:
+                    pass
+        spans = {sp.name: sp for sp in collector.spans()}
+        assert spans["inner"].parent_id == spans["outer"].span_id
+        assert spans["outer"].parent_id is None
+        assert spans["inner"].depth == 1
+        assert spans["outer"].depth == 0
+        assert outer.span_id != inner.span_id
+
+    def test_children_complete_before_parents(self):
+        with use_collector() as collector:
+            with span("a"):
+                with span("b"):
+                    pass
+        assert [sp.name for sp in collector.spans()] == ["b", "a"]
+
+    def test_duration_measured(self):
+        with use_collector() as collector:
+            with span("sleepy"):
+                time.sleep(0.01)
+        (sp,) = collector.spans()
+        assert sp.duration_s >= 0.009
+        assert sp.end_s >= sp.start_s
+
+    def test_sibling_spans_share_parent(self):
+        with use_collector() as collector:
+            with span("root"):
+                with span("one"):
+                    pass
+                with span("two"):
+                    pass
+        spans = {sp.name: sp for sp in collector.spans()}
+        assert spans["one"].parent_id == spans["root"].span_id
+        assert spans["two"].parent_id == spans["root"].span_id
+
+    def test_span_recorded_on_exception(self):
+        with use_collector() as collector:
+            try:
+                with span("failing"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+        assert [sp.name for sp in collector.spans()] == ["failing"]
+
+    def test_current_span_tracks_innermost(self):
+        with use_collector():
+            with span("outer"):
+                with span("inner"):
+                    assert current_span().name == "inner"
+                assert current_span().name == "outer"
+
+
+class TestAttributes:
+    def test_kwargs_and_set(self):
+        with use_collector() as collector:
+            with span("attrs", city="A") as sp:
+                sp.set(n_iter=12, converged=True)
+        (sp,) = collector.spans()
+        assert sp.attributes == {
+            "city": "A", "n_iter": 12, "converged": True,
+        }
+
+    def test_set_chains(self):
+        with use_collector() as collector:
+            with span("chain") as sp:
+                assert sp.set(a=1) is sp
+        assert collector.spans()[0].attributes["a"] == 1
+
+
+class TestCollector:
+    def test_use_collector_restores_previous(self):
+        before = get_collector()
+        with use_collector():
+            assert get_collector() is not before
+        assert get_collector() is before
+
+    def test_set_collector_none_restores_noop(self):
+        previous = set_collector(SpanCollector())
+        try:
+            assert get_collector().enabled
+        finally:
+            set_collector(None)
+            assert not get_collector().enabled
+            set_collector(previous)
+
+    def test_find_and_aggregate(self):
+        with use_collector() as collector:
+            for _ in range(3):
+                with span("repeated"):
+                    pass
+            with span("single"):
+                pass
+        assert len(collector.find("repeated")) == 3
+        totals = collector.aggregate()
+        assert totals["repeated"][0] == 3
+        assert totals["single"][0] == 1
+        assert totals["repeated"][1] >= 0.0
+
+    def test_clear(self):
+        with use_collector() as collector:
+            with span("x"):
+                pass
+            assert len(collector) == 1
+            collector.clear()
+            assert len(collector) == 0
+
+    def test_thread_safety(self):
+        def worker():
+            for _ in range(50):
+                with span("threaded"):
+                    pass
+
+        with use_collector() as collector:
+            threads = [
+                threading.Thread(target=worker) for _ in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(collector.find("threaded")) == 200
+
+
+class TestJsonlExport:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with use_collector() as collector:
+            with span("outer", city="A"):
+                with span("inner", k=3):
+                    pass
+        n = collector.export_jsonl(path)
+        assert n == 2
+        rows = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert len(rows) == 2
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["attributes"] == {"city": "A"}
+        assert by_name["inner"]["attributes"] == {"k": 3}
+        for row in rows:
+            assert row["duration_s"] >= 0.0
+            assert row["start_s"] >= 0.0
+
+    def test_numpy_attributes_serialise(self, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "trace.jsonl"
+        with use_collector() as collector:
+            with span("np", count=np.int64(7), ratio=np.float64(0.5)):
+                pass
+        collector.export_jsonl(path)
+        row = json.loads(path.read_text())
+        assert row["attributes"] == {"count": 7, "ratio": 0.5}
+
+    def test_render_tree(self):
+        with use_collector() as collector:
+            with span("root"):
+                with span("leaf", n=1):
+                    pass
+        tree = collector.render_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("root")
+        assert lines[1].startswith("  leaf")
+        assert "n=1" in lines[1]

@@ -175,3 +175,46 @@ class TestMeanPrior:
         ).fit(two_cluster_sample)
         assert fit.means[0] == pytest.approx(4.0, abs=0.2)
         assert fit.means[1] == pytest.approx(36.0, abs=0.2)
+
+
+class TestConvergenceObservability:
+    def test_cap_hit_warns_and_counts(self, caplog):
+        import logging
+
+        from repro.obs.metrics import use_registry
+
+        rng = np.random.default_rng(5)
+        sample = np.concatenate(
+            [rng.normal(5, 0.5, 300), rng.normal(40, 2.0, 300)]
+        )
+        with use_registry() as registry:
+            with caplog.at_level(logging.WARNING, logger="repro.stats.gmm"):
+                fit = GaussianMixture(2, max_iter=1, tol=0.0).fit(sample)
+        assert not fit.converged
+        assert registry.counter("em.unconverged").value == 1.0
+        records = [
+            r for r in caplog.records if "iteration cap" in r.getMessage()
+        ]
+        assert len(records) == 1
+        assert records[0].name == "repro.stats.gmm"
+
+    def test_converged_fit_is_silent(self, caplog, two_cluster_sample):
+        import logging
+
+        from repro.obs.metrics import use_registry
+
+        with use_registry() as registry:
+            with caplog.at_level(logging.WARNING, logger="repro.stats.gmm"):
+                fit = GaussianMixture(2, seed=0).fit(two_cluster_sample)
+        assert fit.converged
+        assert registry.counter("em.unconverged").value == 0.0
+        assert not caplog.records
+
+    def test_iteration_metric_recorded(self, two_cluster_sample):
+        from repro.obs.metrics import use_registry
+
+        with use_registry() as registry:
+            fit = GaussianMixture(2, seed=0).fit(two_cluster_sample)
+        hist = registry.histogram("em.iterations")
+        assert hist.count == 1
+        assert hist.max == fit.n_iter

@@ -1,8 +1,10 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
 from repro.frame import read_csv, write_csv
 
 
@@ -148,6 +150,137 @@ class TestDescribeAndDossier:
         out = capsys.readouterr().out
         assert "Broadband dossier" in out
         assert "challenge triage" in out
+
+
+class TestObservabilityFlags:
+    def test_all_subcommands_accept_obs_flags(self):
+        import argparse
+
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, argparse._SubParsersAction)
+        )
+        for name, sub in subparsers.choices.items():
+            options = {
+                opt for action in sub._actions
+                for opt in action.option_strings
+            }
+            assert {
+                "--log-level", "--log-format", "--trace-out",
+                "--metrics", "--profile",
+            } <= options, f"{name} is missing obs flags"
+
+    def test_trace_out_writes_valid_jsonl(self, tmp_path, ookla_csv, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "contextualize", "--input", str(ookla_csv),
+                "--city", "A", "--out", str(tmp_path / "ctx.csv"),
+                "--trace-out", str(trace),
+            ]
+        )
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        rows = [
+            json.loads(line)
+            for line in trace.read_text().splitlines()
+        ]
+        assert rows, "trace file is empty"
+        names = {row["name"] for row in rows}
+        assert {
+            "contextualize", "bst.fit", "bst.fit_upload",
+            "kde.count_peaks", "gmm.fit", "bst.assign",
+        } <= names
+        for row in rows:
+            assert {"name", "span_id", "duration_s", "attributes"} <= set(row)
+
+    def test_metrics_flag_prints_summary(self, tmp_path, ookla_csv, capsys):
+        code = main(
+            [
+                "contextualize", "--input", str(ookla_csv),
+                "--city", "A", "--out", str(tmp_path / "ctx.csv"),
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- metrics summary --" in out
+        assert "em.iterations" in out
+        assert "kde.peaks_found" in out
+
+    def test_no_obs_flags_no_obs_output(self, tmp_path, ookla_csv, capsys):
+        code = main(
+            [
+                "contextualize", "--input", str(ookla_csv),
+                "--city", "A", "--out", str(tmp_path / "ctx.csv"),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "metrics summary" not in out
+        assert "spans" not in out
+
+    def test_trace_out_unwritable_fails_fast(self, tmp_path, ookla_csv, capsys):
+        code = main(
+            [
+                "contextualize", "--input", str(ookla_csv),
+                "--city", "A", "--out", str(tmp_path / "ctx.csv"),
+                "--trace-out", str(tmp_path / "missing" / "t.jsonl"),
+            ]
+        )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "cannot write --trace-out" in captured.err
+        # Fails before the command runs -- no contextualise output.
+        assert "contextualised rows" not in captured.out
+
+    def test_profile_flag_prints_stats(self, capsys):
+        code = main(["describe", "--city", "A", "--profile"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- profile" in out
+        assert "cumulative" in out
+
+    def test_log_level_json_goes_to_stderr(self, tmp_path, ookla_csv, capsys):
+        code = main(
+            [
+                "contextualize", "--input", str(ookla_csv),
+                "--city", "A", "--out", str(tmp_path / "ctx.csv"),
+                "--log-level", "info", "--log-format", "json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        log_lines = [
+            json.loads(line)
+            for line in captured.err.splitlines() if line.startswith("{")
+        ]
+        assert any(
+            row["logger"] == "repro.pipeline.contextualize"
+            for row in log_lines
+        )
+        # stdout stays machine-readable: no log lines mixed in.
+        assert "{" not in captured.out
+
+    def test_experiment_with_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "exp.jsonl"
+        code = main(
+            [
+                "experiment", "tab2", "--scale", "small",
+                "--trace-out", str(trace), "--metrics",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- metrics summary --" in out
+        assert "-- timings --" in out
+        names = {
+            json.loads(line)["name"]
+            for line in trace.read_text().splitlines()
+        }
+        assert "experiment.tab2" in names
+        assert "bst.fit" in names
 
 
 def test_no_command_exits():
