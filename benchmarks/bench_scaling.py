@@ -1,0 +1,153 @@
+"""Scaling benchmarks: KDE fast path and parallel BST fits.
+
+Records exact-vs-binned KDE grid timings and serial-vs-parallel BST fit
+timings through the :mod:`repro.obs` span/metrics sinks, and asserts the
+two performance contracts from docs/PERFORMANCE.md:
+
+- the binned fast path is at least 5x faster than the exact pairwise sum
+  at large n (default n=500k; override with ``REPRO_BENCH_KDE_N``) while
+  staying within 1% of the peak density;
+- ``jobs=2`` produces byte-identical tiers/group_indices to the serial
+  fit (no parallel *speedup* is asserted -- CI machines may expose a
+  single core, which makes pool overhead pure cost).
+
+Run with ``-s`` to see the recorded timing tables::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scaling.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.core.bst import BSTModel
+from repro.market import city_catalog
+from repro.obs import use_collector, use_registry
+from repro.stats.kde import GaussianKDE
+
+KDE_N = int(os.environ.get("REPRO_BENCH_KDE_N", "500000"))
+KDE_GRID = 512
+
+
+def _stage_table(collector) -> str:
+    """Per-span-name timing summary (same layout as conftest's)."""
+    totals = collector.aggregate()
+    if not totals:
+        return "(no spans recorded)"
+    width = max(len(name) for name in totals)
+    lines = [f"{'stage'.ljust(width)}  calls  total ms"]
+    for name in sorted(totals, key=lambda n: totals[n][1], reverse=True):
+        count, seconds = totals[name]
+        lines.append(
+            f"{name.ljust(width)}  {count:>5}  {seconds * 1e3:>8.1f}"
+        )
+    return "\n".join(lines)
+
+
+def _kde_sample(n: int) -> np.ndarray:
+    rng = np.random.default_rng(0)
+    return np.concatenate(
+        [
+            rng.normal(5, 0.4, n // 3),
+            rng.normal(11, 0.8, n // 3),
+            rng.normal(38, 2.0, n - 2 * (n // 3)),
+        ]
+    )
+
+
+def _bst_sample(catalog, n_per_tier=400, seed=0):
+    rng = np.random.default_rng(seed)
+    downloads, uploads = [], []
+    for plan in catalog.plans:
+        downloads.append(
+            rng.normal(plan.download_mbps * 1.1,
+                       plan.download_mbps * 0.06, n_per_tier)
+        )
+        uploads.append(
+            rng.normal(plan.upload_mbps * 1.1,
+                       plan.upload_mbps * 0.05, n_per_tier)
+        )
+    return np.concatenate(downloads), np.concatenate(uploads)
+
+
+def test_kde_fast_path_speedup(benchmark):
+    """Binned grid evaluation is >= 5x faster than exact at large n."""
+    kde = GaussianKDE(_kde_sample(KDE_N))
+
+    with use_collector() as collector, use_registry() as registry:
+        t0 = time.perf_counter()
+        grid, exact = kde.grid(num=KDE_GRID, method="exact")
+        exact_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        _, binned = kde.grid(num=KDE_GRID, method="binned")
+        binned_s = time.perf_counter() - t0
+
+        registry.gauge("kde.bench.exact_s").set(exact_s)
+        registry.gauge("kde.bench.binned_s").set(binned_s)
+        registry.gauge("kde.bench.speedup").set(exact_s / binned_s)
+        registry.gauge("kde.bench.n").set(float(KDE_N))
+
+    rel_err = float(np.max(np.abs(binned - exact)) / exact.max())
+    print()
+    print(f"-- KDE grid evaluation (n={KDE_N}, num={KDE_GRID}) --")
+    print(f"exact:  {exact_s * 1e3:9.1f} ms")
+    print(f"binned: {binned_s * 1e3:9.1f} ms  ({exact_s / binned_s:.0f}x)")
+    print(f"max relative error: {rel_err:.5f} of peak density")
+    print()
+    print("-- per-stage spans --")
+    print(_stage_table(collector))
+    print()
+    print(registry.render())
+
+    assert exact_s / binned_s >= 5.0
+    assert rel_err < 0.01
+
+    # pytest-benchmark records the fast path for regression tracking.
+    benchmark.pedantic(
+        lambda: kde.grid(num=KDE_GRID, method="binned"),
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_parallel_fit_identity_and_timing(benchmark):
+    """jobs=2 matches serial byte-for-byte; timings are recorded."""
+    catalog = city_catalog("A")
+    downloads, uploads = _bst_sample(catalog)
+
+    with use_collector() as collector, use_registry() as registry:
+        t0 = time.perf_counter()
+        serial = BSTModel(catalog).fit(downloads, uploads, jobs=1)
+        serial_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        parallel = BSTModel(catalog).fit(downloads, uploads, jobs=2)
+        parallel_s = time.perf_counter() - t0
+
+        registry.gauge("bst.bench.serial_s").set(serial_s)
+        registry.gauge("bst.bench.parallel_s").set(parallel_s)
+
+    np.testing.assert_array_equal(serial.tiers, parallel.tiers)
+    np.testing.assert_array_equal(
+        serial.group_indices, parallel.group_indices
+    )
+
+    print()
+    print(f"-- BST fit (n={downloads.size}, city A) --")
+    print(f"serial (jobs=1):   {serial_s * 1e3:9.1f} ms")
+    print(f"parallel (jobs=2): {parallel_s * 1e3:9.1f} ms")
+    print()
+    print("-- per-stage spans --")
+    print(_stage_table(collector))
+    print()
+    print(registry.render())
+
+    benchmark.pedantic(
+        lambda: BSTModel(catalog).fit(downloads, uploads, jobs=1),
+        rounds=3,
+        iterations=1,
+    )

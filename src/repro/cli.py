@@ -13,8 +13,10 @@ Subcommands cover the full reproduction workflow:
 
 Every command is deterministic given ``--seed``, and every command
 accepts the shared observability flags (``--log-level``, ``--log-format``,
-``--trace-out FILE.jsonl``, ``--metrics``, ``--profile``); see
-docs/OBSERVABILITY.md.
+``--trace-out FILE.jsonl``, ``--metrics``, ``--profile``; see
+docs/OBSERVABILITY.md) plus ``--jobs N`` to fan independent BST fits out
+over a process pool (results identical to serial; see
+docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -70,6 +72,12 @@ def _obs_parent() -> argparse.ArgumentParser:
     group.add_argument(
         "--profile", action="store_true",
         help="run under cProfile and print the top functions",
+    )
+    perf = parent.add_argument_group("performance")
+    perf.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for independent BST fits "
+             "(1 = serial, 0 = all CPUs); results are identical to serial",
     )
     return parent
 
@@ -241,7 +249,7 @@ def _cmd_join(args) -> int:
 
 def _cmd_contextualize(args) -> int:
     table = read_csv(args.input)
-    ctx = contextualize(table, city_catalog(args.city))
+    ctx = contextualize(table, city_catalog(args.city), jobs=args.jobs)
     write_csv(ctx.table, args.out)
     rows = []
     for label in ctx.group_labels:
@@ -261,7 +269,7 @@ def _cmd_evaluate(args) -> int:
     mba = MBASimulator(args.state, seed=args.seed).generate(args.n)
     catalog = state_catalog(args.state)
     result = BSTModel(catalog).fit(
-        mba["download_mbps"], mba["upload_mbps"]
+        mba["download_mbps"], mba["upload_mbps"], jobs=args.jobs
     )
     report = accuracy_report(result, mba["tier"])
     print(
@@ -283,7 +291,10 @@ def _cmd_evaluate(args) -> int:
 
 def _cmd_experiment(args) -> int:
     result = run_experiment(
-        args.experiment_id, scale=Scale(args.scale), seed=args.seed
+        args.experiment_id,
+        scale=Scale(args.scale),
+        seed=args.seed,
+        jobs=args.jobs,
     )
     print(result.render())
     return 0
@@ -304,6 +315,7 @@ def _cmd_report_all(args) -> int:
         experiment_ids=args.only,
         scale=Scale(args.scale),
         seed=args.seed,
+        jobs=args.jobs,
     )
     print(
         f"exported {len(results)} experiment reports to {args.out_dir} "
@@ -365,7 +377,7 @@ def _cmd_dossier(args) -> int:
 
     catalog = city_catalog(args.city)
     tests = OoklaSimulator(args.city, seed=args.seed).generate(args.n)
-    ctx = contextualize(tests, catalog)
+    ctx = contextualize(tests, catalog, jobs=args.jobs)
     print(city_dossier(ctx, city_label=f"City-{args.city}"))
     return 0
 

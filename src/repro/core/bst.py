@@ -15,11 +15,13 @@ counts, and the KDE peak counts that seeded each stage.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.config import BSTConfig
+from repro.core.parallel import parallel_map, resolve_jobs
 from repro.market.plans import PlanCatalog, UploadGroup
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger, kv
@@ -58,7 +60,20 @@ class UploadStageFit:
     component_groups: tuple[int, ...] = ()
 
     def mean_for_group(self, group_index: int) -> float:
-        return float(self.cluster_means[group_index])
+        """Fitted cluster mean for one upload group.
+
+        Raises ``ValueError`` when no mixture component mapped to the
+        group (its ``cluster_means`` slot holds the ``nan`` prefill) --
+        a silent ``nan`` here used to leak into Table 3-style reports.
+        """
+        mean = float(self.cluster_means[group_index])
+        if math.isnan(mean):
+            label = self.groups[group_index].tier_label
+            raise ValueError(
+                f"no fitted component mapped to upload group "
+                f"{group_index} ({label}); its cluster mean is undefined"
+            )
+        return mean
 
 
 @dataclass
@@ -172,9 +187,14 @@ class BSTModel:
         extra components are added for it and every component is then
         mapped to the log-nearest offered upload speed.
 
+        ``uploads`` must be finite, like :meth:`fit` requires: the
+        returned group indices align one-to-one with the input rows, so
+        silently dropping NaNs (the old behaviour) would misalign them
+        for the caller.  Filter non-finite rows first.
+
         Returns the fit plus the per-measurement group index.
         """
-        uploads = _clean(uploads)
+        uploads = _require_finite(uploads, "uploads")
         with span("bst.fit_upload", n=int(uploads.size)) as sp:
             fit, group_indices = self._fit_upload_stage(uploads)
             sp.set(
@@ -304,9 +324,12 @@ class BSTModel:
     ) -> tuple[DownloadStageFit, np.ndarray]:
         """Cluster one group's downloads and map clusters to plan tiers.
 
+        ``downloads`` must be finite (the returned tiers align one-to-one
+        with the input rows; see :meth:`fit_upload_stage`).
+
         Returns the fit plus the per-measurement tier assignment.
         """
-        downloads = _clean(downloads)
+        downloads = _require_finite(downloads, "downloads")
         plans = group.plans
         if downloads.size == 0:
             raise ValueError("empty download sample for a populated group")
@@ -353,8 +376,17 @@ class BSTModel:
         return fit, tiers
 
     # ------------------------------------------------------------------
-    def fit(self, downloads, uploads) -> BSTResult:
-        """Run both stages over paired download/upload measurements."""
+    def fit(self, downloads, uploads, jobs: int | None = None) -> BSTResult:
+        """Run both stages over paired download/upload measurements.
+
+        ``jobs`` overrides ``config.jobs`` for this call: the independent
+        per-upload-group download fits fan out over a process pool when
+        the effective worker count exceeds 1.  Results are identical to
+        the serial path (every group fit is deterministic given the
+        config seed, and groups are gathered in index order); only the
+        in-worker spans/metrics stay unrecorded (see
+        :mod:`repro.core.parallel`).
+        """
         downloads = np.asarray(downloads, dtype=float)
         uploads = np.asarray(uploads, dtype=float)
         if downloads.shape != uploads.shape:
@@ -364,21 +396,41 @@ class BSTModel:
             raise ValueError(
                 "BST input must be finite; filter NaNs before fitting"
             )
+        effective_jobs = resolve_jobs(
+            self.config.jobs if jobs is None else jobs
+        )
         with span(
-            "bst.fit", isp=self.catalog.isp_name, n=int(downloads.size)
+            "bst.fit",
+            isp=self.catalog.isp_name,
+            n=int(downloads.size),
+            jobs=effective_jobs,
         ):
             upload_fit, group_indices = self.fit_upload_stage(uploads)
             tiers = np.zeros(len(downloads), dtype=np.int64)
             download_stages: dict[int, DownloadStageFit] = {}
-            for gi, group in enumerate(upload_fit.groups):
-                member_rows = np.flatnonzero(group_indices == gi)
-                if member_rows.size == 0:
-                    continue
-                stage, member_tiers = self.fit_download_stage(
-                    downloads[member_rows], group, gi
-                )
+            populated = [
+                (gi, group, np.flatnonzero(group_indices == gi))
+                for gi, group in enumerate(upload_fit.groups)
+            ]
+            populated = [
+                (gi, group, rows)
+                for gi, group, rows in populated
+                if rows.size
+            ]
+            stage_results = parallel_map(
+                _download_stage_task,
+                [
+                    (self, downloads[rows], group, gi)
+                    for gi, group, rows in populated
+                ],
+                effective_jobs,
+                span_name="bst.fit_downloads",
+            )
+            for (gi, _, rows), (stage, member_tiers) in zip(
+                populated, stage_results
+            ):
                 download_stages[gi] = stage
-                tiers[member_rows] = member_tiers
+                tiers[rows] = member_tiers
         obs_metrics.counter("bst.measurements_assigned").inc(
             int(downloads.size)
         )
@@ -426,9 +478,30 @@ class BSTModel:
         return labels, fit.centers, weights, fit.converged, fit.n_iter
 
 
-def _clean(values) -> np.ndarray:
+def _download_stage_task(
+    args: tuple["BSTModel", np.ndarray, UploadGroup, int],
+) -> tuple[DownloadStageFit, np.ndarray]:
+    """Picklable per-group worker for the parallel download-stage fan-out."""
+    model, downloads, group, group_index = args
+    return model.fit_download_stage(downloads, group, group_index)
+
+
+def _require_finite(values, name: str) -> np.ndarray:
+    """Validate that a stage input is wholly finite (no silent drops).
+
+    Stage outputs (group indices, tiers) align one-to-one with their
+    input rows; dropping non-finite values here would silently misalign
+    them for standalone callers.
+    """
     values = np.asarray(values, dtype=float)
-    return values[np.isfinite(values)]
+    finite = np.isfinite(values)
+    if not finite.all():
+        bad = int(values.size - finite.sum())
+        raise ValueError(
+            f"{name} must be finite ({bad} of {values.size} values are "
+            "NaN/inf); filter non-finite rows before fitting"
+        )
+    return values
 
 
 def _nearest_plan_tier(cluster_mean: float, plans) -> int:

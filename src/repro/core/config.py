@@ -39,6 +39,12 @@ class BSTConfig:
         "gmm" (the paper's choice) or "kmeans" (the ablation baseline).
     seed:
         Seed for any randomised initialisation.
+    jobs:
+        Worker processes for the independent per-upload-group download
+        fits in :meth:`BSTModel.fit`: ``1`` (default) is serial, ``N > 1``
+        a process pool of ``N``, ``0`` all CPUs.  Parallel runs produce
+        results identical to serial ones (see
+        :mod:`repro.core.parallel` and docs/PERFORMANCE.md).
     """
 
     seed_means_from_catalog: bool = True
@@ -52,6 +58,7 @@ class BSTConfig:
     upload_mean_prior: float = 0.2
     clustering: str = "gmm"
     seed: int = 0
+    jobs: int = 1
 
     def __post_init__(self):
         if self.max_download_clusters < 1:

@@ -91,12 +91,17 @@ def run_fig4(scale: Scale = Scale.MEDIUM, seed: int = 0) -> ExperimentResult:
     """
     mba = data.mba_dataset("A", scale, seed)
     uploads = np.asarray(mba["upload_mbps"], dtype=float)
+    uploads = uploads[np.isfinite(uploads)]
     locations, heights = kde_peak_summary(uploads)
     catalog = state_catalog("A")
     model = BSTModel(catalog)
     fit, _ = model.fit_upload_stage(uploads)
     rows = [
-        [g.tier_label, g.upload_mbps, round(float(m), 2)]
+        [
+            g.tier_label,
+            g.upload_mbps,
+            "n/a" if np.isnan(m) else round(float(m), 2),
+        ]
         for g, m in zip(fit.groups, fit.cluster_means)
     ]
     return ExperimentResult(
@@ -118,6 +123,7 @@ def run_fig4(scale: Scale = Scale.MEDIUM, seed: int = 0) -> ExperimentResult:
             **{
                 f"cluster_mean_{g.tier_label}": float(m)
                 for g, m in zip(fit.groups, fit.cluster_means)
+                if not np.isnan(m)
             },
         },
         paper_values={

@@ -1,10 +1,18 @@
-"""Tables 5-7 and Figures 14-18: the other three cities and states."""
+"""Tables 5-7 and Figures 14-18: the other three cities and states.
+
+Both drivers accept ``jobs``: the per-(city, platform) upload fits of
+Tables 5-7 and the per-state full BST fits of Figures 14-18 are
+independent, so they fan out over a process pool via
+:func:`repro.core.parallel.parallel_map` (results are identical to the
+serial order-preserving path).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.bst import BSTModel
+from repro.core.bst import BSTModel, BSTResult, UploadStageFit
+from repro.core.parallel import parallel_map
 from repro.experiments import data
 from repro.experiments.base import ExperimentResult, Scale
 from repro.experiments.exp_contextualization import platform_splits
@@ -34,11 +42,30 @@ _PAPER_CITY_MEANS = {
 }
 
 
-def run_tab5_7(scale: Scale = Scale.MEDIUM, seed: int = 0) -> ExperimentResult:
+def _upload_fit_task(args: tuple[BSTModel, np.ndarray]) -> UploadStageFit:
+    """Picklable per-(city, platform) worker: stage-one fit only."""
+    model, uploads = args
+    fit, _ = model.fit_upload_stage(uploads)
+    return fit
+
+
+def _full_fit_task(
+    args: tuple[BSTModel, np.ndarray, np.ndarray],
+) -> BSTResult:
+    """Picklable per-state worker: the full two-stage fit."""
+    model, downloads, uploads = args
+    return model.fit(downloads, uploads)
+
+
+def run_tab5_7(
+    scale: Scale = Scale.MEDIUM, seed: int = 0, jobs: int = 1
+) -> ExperimentResult:
     """Tables 5-7: upload clusters per platform for Cities B, C and D."""
     sections: dict[str, str] = {}
     metrics: dict[str, float] = {}
     paper_values: dict[str, float] = {}
+    # Gather every (city, platform) fit task first, then fan them out.
+    tasks: list[tuple[str, str, BSTModel, np.ndarray]] = []
     for city in ("B", "C", "D"):
         catalog = city_catalog(city)
         model = BSTModel(catalog)
@@ -46,24 +73,42 @@ def run_tab5_7(scale: Scale = Scale.MEDIUM, seed: int = 0) -> ExperimentResult:
         mlab = data.mlab_joined_dataset(city, scale, seed)
         datasets = dict(platform_splits(ookla))
         datasets["MLab NDT-Web"] = mlab
+        for platform, table in datasets.items():
+            uploads = np.asarray(table["upload_mbps"], dtype=float)
+            uploads = uploads[np.isfinite(uploads)]
+            if uploads.size < catalog.num_plans:
+                continue
+            tasks.append((city, platform, model, uploads))
+    fits = parallel_map(
+        _upload_fit_task,
+        [(model, uploads) for _, _, model, uploads in tasks],
+        jobs,
+        span_name="experiment.fanout",
+    )
+    rows_by_city: dict[str, list[list]] = {}
+    for (city, platform, model, _), fit in zip(tasks, fits):
+        group_labels = [g.tier_label for g in fit.groups]
+        row: list = [platform]
+        for gi, label in enumerate(group_labels):
+            count = int(fit.cluster_counts[gi])
+            try:
+                mean = fit.mean_for_group(gi)
+            except ValueError:
+                # No component mapped to this group: report the count
+                # but never a NaN mean (and record no metric for it).
+                row += [count, "n/a"]
+                continue
+            row += [count, round(mean, 2)]
+            metrics[f"{city}|{platform}|{label}|mean"] = mean
+        rows_by_city.setdefault(city, []).append(row)
+    for city in ("B", "C", "D"):
+        catalog = city_catalog(city)
         group_labels = [g.tier_label for g in catalog.upload_groups()]
         headers = ["platform"]
         for label in group_labels:
             headers += [f"{label} n", f"{label} mean"]
-        rows = []
-        for platform, table in datasets.items():
-            uploads = np.asarray(table["upload_mbps"], dtype=float)
-            if uploads.size < catalog.num_plans:
-                continue
-            fit, _ = model.fit_upload_stage(uploads)
-            row: list = [platform]
-            for gi, label in enumerate(group_labels):
-                mean = float(fit.cluster_means[gi])
-                row += [int(fit.cluster_counts[gi]), round(mean, 2)]
-                metrics[f"{city}|{platform}|{label}|mean"] = mean
-            rows.append(row)
         sections[f"City-{city} ({catalog.isp_name})"] = format_table(
-            rows, headers
+            rows_by_city.get(city, []), headers
         )
         for platform, means in _PAPER_CITY_MEANS[city].items():
             for label, value in zip(group_labels, means):
@@ -79,7 +124,7 @@ def run_tab5_7(scale: Scale = Scale.MEDIUM, seed: int = 0) -> ExperimentResult:
 
 
 def run_fig14_18(
-    scale: Scale = Scale.MEDIUM, seed: int = 0
+    scale: Scale = Scale.MEDIUM, seed: int = 0, jobs: int = 1
 ) -> ExperimentResult:
     """Figures 14-18: appendix KDE summaries for States/Cities B-D.
 
@@ -90,11 +135,26 @@ def run_fig14_18(
     """
     sections: dict[str, str] = {}
     metrics: dict[str, float] = {}
-    for state in ("B", "C", "D"):
+    states = ("B", "C", "D")
+    tasks: list[tuple[BSTModel, np.ndarray, np.ndarray]] = []
+    uploads_by_state: dict[str, np.ndarray] = {}
+    for state in states:
         catalog = state_catalog(state)
         mba = data.mba_dataset(state, scale, seed)
+        downloads = np.asarray(mba["download_mbps"], dtype=float)
         uploads = np.asarray(mba["upload_mbps"], dtype=float)
-        locations, _ = kde_peak_summary(uploads, min_prominence_frac=0.03, log_space=True)
+        finite = np.isfinite(downloads) & np.isfinite(uploads)
+        downloads, uploads = downloads[finite], uploads[finite]
+        uploads_by_state[state] = uploads
+        tasks.append((BSTModel(catalog), downloads, uploads))
+    results = parallel_map(
+        _full_fit_task, tasks, jobs, span_name="experiment.fanout"
+    )
+    for state, result in zip(states, results):
+        catalog = state_catalog(state)
+        locations, _ = kde_peak_summary(
+            uploads_by_state[state], min_prominence_frac=0.03, log_space=True
+        )
         metrics[f"{state}|n_upload_peaks"] = float(len(locations))
         rows = [
             [
@@ -103,8 +163,6 @@ def run_fig14_18(
             ],
             ["kde peaks", ", ".join(f"{p:.1f}" for p in locations)],
         ]
-        model = BSTModel(catalog)
-        result = model.fit(mba["download_mbps"], mba["upload_mbps"])
         for gi, stage in sorted(result.download_stages.items()):
             label = result.upload_stage.groups[gi].tier_label
             rows.append(

@@ -116,13 +116,19 @@ def run_tab3(scale: Scale = Scale.MEDIUM, seed: int = 0) -> ExperimentResult:
     metrics: dict[str, float] = {}
     for platform, table in datasets.items():
         uploads = np.asarray(table["upload_mbps"], dtype=float)
+        uploads = uploads[np.isfinite(uploads)]
         if uploads.size < len(group_labels):
             continue
         fit, groups = model.fit_upload_stage(uploads)
         row: list = [platform]
         for gi, label in enumerate(group_labels):
             count = int(fit.cluster_counts[gi])
-            mean = float(fit.cluster_means[gi])
+            try:
+                mean = fit.mean_for_group(gi)
+            except ValueError:
+                # No component mapped to this group; never render a NaN.
+                row += [count, "n/a"]
+                continue
             row += [count, round(mean, 2)]
             metrics[f"{platform}|{label}|mean"] = mean
         rows.append(row)

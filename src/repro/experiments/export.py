@@ -23,11 +23,13 @@ def export_all(
     experiment_ids: list[str] | None = None,
     scale: Scale = Scale.MEDIUM,
     seed: int = 0,
+    jobs: int = 1,
 ) -> dict[str, ExperimentResult]:
     """Run experiments and write their reports under ``out_dir``.
 
     Returns the results keyed by experiment id.  Unknown ids raise
-    before anything runs.
+    before anything runs.  ``jobs`` is forwarded to each experiment (see
+    :func:`run_experiment`).
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -45,7 +47,7 @@ def export_all(
         "paper": [],
     }
     for eid in ids:
-        result = run_experiment(eid, scale=scale, seed=seed)
+        result = run_experiment(eid, scale=scale, seed=seed, jobs=jobs)
         results[eid] = result
         report = result.render()
         (out_dir / f"{eid.replace('/', '_')}.txt").write_text(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 import time
 from typing import Callable
 
@@ -100,6 +101,7 @@ def run_experiment(
     experiment_id: str,
     scale: Scale = Scale.MEDIUM,
     seed: int = 0,
+    jobs: int = 1,
 ) -> ExperimentResult:
     """Run one registered experiment.
 
@@ -107,13 +109,23 @@ def run_experiment(
     When a span collector is active (``repro.obs``), the run is wrapped
     in an ``experiment.<id>`` span and per-stage span totals (seconds,
     keyed by span name) are attached to ``timings`` as well.
+
+    ``jobs`` is forwarded to drivers that declare a ``jobs`` parameter
+    (the multi-city experiments fan their independent per-(city, ISP)
+    fits out over a process pool); drivers without one run unchanged.
+    Parallel runs produce the same results as serial ones.
     """
     runner = get_experiment(experiment_id)
+    kwargs: dict = {"scale": scale, "seed": seed}
+    if "jobs" in inspect.signature(runner).parameters:
+        kwargs["jobs"] = jobs
     collector = get_collector()
     before = len(collector.spans()) if collector.enabled else 0
     start = time.perf_counter()
-    with span("experiment." + experiment_id, scale=scale.value, seed=seed):
-        result = runner(scale=scale, seed=seed)
+    with span(
+        "experiment." + experiment_id, scale=scale.value, seed=seed, jobs=jobs
+    ):
+        result = runner(**kwargs)
     total = time.perf_counter() - start
     obs_metrics.counter("experiments.run").inc()
     if collector.enabled:

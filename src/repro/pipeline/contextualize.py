@@ -76,11 +76,16 @@ def contextualize(
     config: BSTConfig | None = None,
     download_column: str = "download_mbps",
     upload_column: str = "upload_mbps",
+    jobs: int | None = None,
 ) -> ContextualizedDataset:
     """Fit BST over ``table`` and attach subscription-tier context columns.
 
     Rows with non-finite speeds are dropped before fitting (crowdsourced
     data is noisy; a test with a missing direction cannot be assigned).
+
+    ``jobs`` fans the per-upload-group download fits out over a process
+    pool (``1`` serial, ``0`` all CPUs); parallel output is identical to
+    serial (see docs/PERFORMANCE.md).
     """
     downloads = np.asarray(table[download_column], dtype=float)
     uploads = np.asarray(table[upload_column], dtype=float)
@@ -98,7 +103,7 @@ def contextualize(
         uploads = uploads[finite]
 
         model = BSTModel(catalog, config)
-        result = model.fit(downloads, uploads)
+        result = model.fit(downloads, uploads, jobs=jobs)
 
         with span("contextualize.augment", n=int(len(clean))):
             plan_down = result.plan_download_for_rows()

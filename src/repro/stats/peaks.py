@@ -31,23 +31,28 @@ class DensityPeak:
 
 
 def _local_maxima(density: np.ndarray) -> np.ndarray:
-    """Indices of strict-or-plateau local maxima of a 1-D curve."""
+    """Indices of strict-or-plateau local maxima of a 1-D curve.
+
+    Boundary maxima count: a curve that rises into the last index (or
+    falls away from the first), and a plateau that touches either end,
+    report a maximum there -- an edge-hugging cluster whose mode lands on
+    the grid boundary must not vanish.  A fully constant curve has none.
+    """
     if density.size < 3:
         return np.array([], dtype=int)
     maxima = []
-    i = 1
     n = density.size
-    while i < n - 1:
-        if density[i] > density[i - 1]:
-            # Walk across any plateau.
-            j = i
-            while j < n - 1 and density[j + 1] == density[j]:
-                j += 1
-            if j < n - 1 and density[j + 1] < density[j]:
-                maxima.append((i + j) // 2)
-            i = j + 1
-        else:
-            i += 1
+    i = 0
+    while i < n:
+        # Walk across any plateau [i, j].
+        j = i
+        while j + 1 < n and density[j + 1] == density[j]:
+            j += 1
+        rises_left = i == 0 or density[i - 1] < density[i]
+        falls_right = j == n - 1 or density[j + 1] < density[j]
+        if rises_left and falls_right and not (i == 0 and j == n - 1):
+            maxima.append((i + j) // 2)
+        i = j + 1
     return np.asarray(maxima, dtype=int)
 
 
@@ -56,26 +61,36 @@ def _prominence(density: np.ndarray, index: int) -> float:
 
     The prominence is the peak height minus the higher of the two lowest
     saddle points separating it from higher terrain on each side (or from
-    the curve boundary when no higher peak exists on a side).
+    the curve boundary when no higher peak exists on a side).  A peak
+    sitting on the grid boundary has no terrain on that side at all, so
+    only the interior side constrains its prominence.
     """
     height = density[index]
-    # Left side: lowest point between the peak and the nearest higher point.
-    left_min = height
-    for i in range(index - 1, -1, -1):
-        if density[i] > height:
-            break
-        left_min = min(left_min, density[i])
-    else:
-        left_min = float(density[: index + 1].min())
-    # Right side, symmetric.
-    right_min = height
-    for i in range(index + 1, density.size):
-        if density[i] > height:
-            break
-        right_min = min(right_min, density[i])
-    else:
-        right_min = float(density[index:].min())
-    return float(height - max(left_min, right_min))
+    side_mins: list[float] = []
+    if index > 0:
+        # Left side: lowest point between the peak and the nearest
+        # higher point.
+        left_min = height
+        for i in range(index - 1, -1, -1):
+            if density[i] > height:
+                break
+            left_min = min(left_min, density[i])
+        else:
+            left_min = float(density[: index + 1].min())
+        side_mins.append(left_min)
+    if index < density.size - 1:
+        # Right side, symmetric.
+        right_min = height
+        for i in range(index + 1, density.size):
+            if density[i] > height:
+                break
+            right_min = min(right_min, density[i])
+        else:
+            right_min = float(density[index:].min())
+        side_mins.append(right_min)
+    if not side_mins:
+        return float(height)
+    return float(height - max(side_mins))
 
 
 def find_density_peaks(
@@ -135,6 +150,7 @@ def count_density_peaks(
     min_prominence_frac: float = 0.05,
     min_height_frac: float = 0.02,
     log_space: bool = False,
+    kde_method: str = "auto",
 ) -> int:
     """KDE a sample and count its significant density peaks.
 
@@ -147,6 +163,10 @@ def count_density_peaks(
     bandwidth over-smooths the narrow low-speed clusters; the log transform
     gives every decade equal resolution.  Requires positive values (zeros
     and negatives are dropped along with NaNs).
+
+    ``kde_method`` is forwarded to :meth:`GaussianKDE.grid`: ``"auto"``
+    (the default) engages the linear-binning fast path for large samples,
+    ``"exact"``/``"binned"`` force one path (see docs/PERFORMANCE.md).
     """
     values = np.asarray(values, dtype=float)
     if log_space:
@@ -158,7 +178,7 @@ def count_density_peaks(
         "kde.count_peaks", n=int(values.size), log_space=log_space
     ) as sp:
         kde = GaussianKDE(values, bandwidth=bandwidth)
-        grid, density = kde.grid(num=num_grid)
+        grid, density = kde.grid(num=num_grid, method=kde_method)
         peaks = find_density_peaks(
             grid,
             density,

@@ -64,11 +64,28 @@ class TestUploadStage:
         with pytest.raises(ValueError, match="at least"):
             BSTModel(catalog).fit_upload_stage(np.asarray([5.0]))
 
-    def test_nan_uploads_dropped_in_stage(self, catalog):
+    def test_nan_uploads_rejected(self, catalog):
+        # Regression: NaNs used to be silently dropped, misaligning the
+        # returned group indices with the caller's rows.
         _, uploads, _ = synthetic_city_sample(catalog)
         with_nan = np.concatenate([uploads, [np.nan]])
-        fit, groups = BSTModel(catalog).fit_upload_stage(with_nan)
+        with pytest.raises(ValueError, match="finite"):
+            BSTModel(catalog).fit_upload_stage(with_nan)
+
+    def test_group_indices_align_with_input(self, catalog):
+        _, uploads, _ = synthetic_city_sample(catalog)
+        _, groups = BSTModel(catalog).fit_upload_stage(uploads)
         assert len(groups) == len(uploads)
+
+    def test_mean_for_group_raises_for_unmapped_group(self, catalog):
+        # Regression: an unmapped group's prefilled NaN mean used to be
+        # returned silently and leak into Table 3-style reports.
+        _, uploads, _ = synthetic_city_sample(catalog)
+        fit, _ = BSTModel(catalog).fit_upload_stage(uploads)
+        fit.cluster_means[2] = np.nan
+        with pytest.raises(ValueError, match="no fitted component"):
+            fit.mean_for_group(2)
+        assert fit.mean_for_group(0) > 0
 
 
 class TestDownloadStage:
@@ -126,6 +143,15 @@ class TestDownloadStage:
         group = catalog.upload_groups()[0]
         with pytest.raises(ValueError):
             BSTModel(catalog).fit_download_stage(np.asarray([]), group, 0)
+
+    def test_nan_downloads_rejected(self, catalog):
+        # Regression: NaNs used to be silently dropped, misaligning the
+        # returned tiers with the caller's rows.
+        group = catalog.upload_groups()[0]
+        rng = np.random.default_rng(7)
+        downloads = np.concatenate([rng.normal(27, 3, 100), [np.nan]])
+        with pytest.raises(ValueError, match="finite"):
+            BSTModel(catalog).fit_download_stage(downloads, group, 0)
 
 
 class TestFullFit:

@@ -1,0 +1,125 @@
+"""Tests for the parallel BST fit path.
+
+``--jobs N`` must be a pure wall-clock optimisation: the parallel fit
+fans independent per-upload-group download stages over a process pool,
+and every array in the result must be byte-identical to the serial fit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import BSTConfig, BSTModel
+from repro.core.parallel import parallel_map, resolve_jobs
+from repro.experiments.base import Scale
+from repro.experiments.data import ookla_dataset
+from repro.market import city_catalog
+from repro.pipeline import contextualize
+
+
+@pytest.fixture
+def catalog():
+    return city_catalog("A")
+
+
+def _sample(catalog, seed=0, n_per_tier=200):
+    rng = np.random.default_rng(seed)
+    downloads, uploads = [], []
+    for plan in catalog.plans:
+        downloads.append(
+            rng.normal(plan.download_mbps * 1.1,
+                       plan.download_mbps * 0.06, n_per_tier)
+        )
+        uploads.append(
+            rng.normal(plan.upload_mbps * 1.1,
+                       plan.upload_mbps * 0.05, n_per_tier)
+        )
+    return np.concatenate(downloads), np.concatenate(uploads)
+
+
+class TestResolveJobs:
+    def test_none_means_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_one_means_serial(self):
+        assert resolve_jobs(1) == 1
+
+    def test_zero_means_all_cpus(self):
+        import os
+
+        assert resolve_jobs(0) == max(1, os.cpu_count() or 1)
+
+    def test_negative_means_all_cpus(self):
+        import os
+
+        assert resolve_jobs(-3) == max(1, os.cpu_count() or 1)
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(4) == 4
+
+    def test_config_default_is_serial(self):
+        assert BSTConfig().jobs == 1
+
+
+class TestParallelMap:
+    def test_serial_and_pool_agree(self):
+        tasks = list(range(20))
+        serial = parallel_map(_square, tasks, jobs=1)
+        pooled = parallel_map(_square, tasks, jobs=2)
+        assert serial == pooled == [t * t for t in tasks]
+
+    def test_order_preserved(self):
+        tasks = list(range(50))
+        assert parallel_map(_square, tasks, jobs=2) == [
+            t * t for t in tasks
+        ]
+
+    def test_empty_tasks(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelFitIdentity:
+    def test_fit_identical_across_jobs(self, catalog):
+        downloads, uploads = _sample(catalog)
+        serial = BSTModel(catalog).fit(downloads, uploads, jobs=1)
+        parallel = BSTModel(catalog).fit(downloads, uploads, jobs=2)
+        np.testing.assert_array_equal(serial.tiers, parallel.tiers)
+        np.testing.assert_array_equal(
+            serial.group_indices, parallel.group_indices
+        )
+        assert serial.download_stages.keys() == (
+            parallel.download_stages.keys()
+        )
+        for gi in serial.download_stages:
+            np.testing.assert_array_equal(
+                serial.download_stages[gi].cluster_means,
+                parallel.download_stages[gi].cluster_means,
+            )
+            np.testing.assert_array_equal(
+                serial.download_stages[gi].cluster_tiers,
+                parallel.download_stages[gi].cluster_tiers,
+            )
+
+    def test_config_jobs_used_when_fit_arg_omitted(self, catalog):
+        downloads, uploads = _sample(catalog, seed=1)
+        serial = BSTModel(catalog).fit(downloads, uploads)
+        via_config = BSTModel(catalog, BSTConfig(jobs=2)).fit(
+            downloads, uploads
+        )
+        np.testing.assert_array_equal(serial.tiers, via_config.tiers)
+
+    def test_contextualize_identical_across_jobs(self):
+        tests = ookla_dataset("A", Scale.SMALL, seed=2)
+        catalog = city_catalog("A")
+        serial = contextualize(tests, catalog, jobs=1)
+        parallel = contextualize(tests, catalog, jobs=2)
+        np.testing.assert_array_equal(
+            serial.bst_result.tiers, parallel.bst_result.tiers
+        )
+        np.testing.assert_array_equal(
+            serial.bst_result.group_indices,
+            parallel.bst_result.group_indices,
+        )

@@ -26,9 +26,33 @@ class TestLocalMaxima:
         density = np.asarray([0.0, 1.0, 1.0, 1.0, 0.0])
         assert len(_local_maxima(density)) == 1
 
-    def test_monotone_has_no_interior_maxima(self):
+    def test_rising_curve_peaks_at_right_boundary(self):
+        # Regression: a curve that rises into the last index used to be
+        # dropped entirely, undercounting edge-hugging clusters.
         density = np.linspace(0, 1, 50)
-        assert len(_local_maxima(density)) == 0
+        assert _local_maxima(density).tolist() == [49]
+
+    def test_falling_curve_peaks_at_left_boundary(self):
+        density = np.linspace(1, 0, 50)
+        assert _local_maxima(density).tolist() == [0]
+
+    def test_plateau_reaching_last_index(self):
+        # Regression: a plateau touching the last index fell out of the
+        # old `while j < n - 1` walk and was never reported.
+        density = np.asarray([0.0, 0.5, 1.0, 1.0, 1.0])
+        assert _local_maxima(density).tolist() == [3]
+
+    def test_plateau_starting_at_first_index(self):
+        density = np.asarray([1.0, 1.0, 1.0, 0.5, 0.0])
+        assert _local_maxima(density).tolist() == [1]
+
+    def test_constant_curve_has_no_maxima(self):
+        assert len(_local_maxima(np.full(20, 3.0))) == 0
+
+    def test_interior_maxima_unchanged_by_boundary_fix(self):
+        density = np.asarray([0.0, 1.0, 0.0, 2.0, 0.5])
+        got = _local_maxima(density).tolist()
+        assert 1 in got and 3 in got
 
     def test_too_short_curve(self):
         assert len(_local_maxima(np.asarray([1.0, 2.0]))) == 0
@@ -47,6 +71,15 @@ class TestProminence:
         maxima = _local_maxima(density)
         proms = sorted(_prominence(density, i) for i in maxima)
         assert proms[0] < 0.4  # the shoulder
+
+    def test_boundary_peak_prominence_from_interior_side(self):
+        # A peak on the last grid index has no right-side terrain; its
+        # prominence must come from the interior side alone (it used to
+        # collapse to zero and be filtered out).
+        density = np.asarray([0.0, 0.2, 0.1, 0.5, 0.8, 1.0])
+        assert _prominence(density, 5) == pytest.approx(1.0)
+        falling = density[::-1].copy()
+        assert _prominence(falling, 0) == pytest.approx(1.0)
 
 
 class TestFindPeaks:
@@ -91,6 +124,16 @@ class TestFindPeaks:
         (peak,) = find_density_peaks(grid, density)
         assert isinstance(peak, DensityPeak)
         assert peak.location == pytest.approx(5.0, abs=0.2)
+
+    def test_edge_hugging_cluster_counted(self):
+        # Regression: a second mode whose maximum lands exactly on the
+        # grid boundary (truncated by an explicit evaluation window)
+        # used to vanish from the peak list.
+        grid = np.linspace(0, 10, 201)
+        density = _gaussian(grid, 4, 1, 1.0) + _gaussian(grid, 10, 1, 0.8)
+        peaks = find_density_peaks(grid, density)
+        assert len(peaks) == 2
+        assert peaks[-1].location == pytest.approx(10.0, abs=0.1)
 
 
 class TestCountPeaks:

@@ -86,6 +86,24 @@ class TestContextualize:
         assert "bst_tier" in table
         assert "median dl/plan" in capsys.readouterr().out
 
+    def test_jobs_flag_matches_serial(self, tmp_path, ookla_csv, capsys):
+        serial_out = tmp_path / "ctx1.csv"
+        parallel_out = tmp_path / "ctx2.csv"
+        base = ["contextualize", "--input", str(ookla_csv), "--city", "A"]
+        assert main(base + ["--out", str(serial_out)]) == 0
+        assert main(
+            base + ["--out", str(parallel_out), "--jobs", "2"]
+        ) == 0
+        capsys.readouterr()
+        assert serial_out.read_text() == parallel_out.read_text()
+
+    def test_jobs_default_is_serial(self):
+        args = build_parser().parse_args(
+            ["contextualize", "--input", "x.csv", "--city", "A",
+             "--out", "y.csv"]
+        )
+        assert args.jobs == 1
+
 
 class TestEvaluate:
     def test_reports_accuracy(self, capsys):
