@@ -26,6 +26,7 @@ import numpy as np
 from repro.core.bst import BSTModel
 from repro.market import city_catalog
 from repro.obs import use_collector, use_registry
+from repro.obs.runs import record_bench
 from repro.stats.kde import GaussianKDE
 
 KDE_N = int(os.environ.get("REPRO_BENCH_KDE_N", "500000"))
@@ -34,15 +35,21 @@ KDE_GRID = 512
 
 def _stage_table(collector) -> str:
     """Per-span-name timing summary (same layout as conftest's)."""
-    totals = collector.aggregate()
-    if not totals:
+    stats = collector.aggregate_stats()
+    if not stats:
         return "(no spans recorded)"
-    width = max(len(name) for name in totals)
-    lines = [f"{'stage'.ljust(width)}  calls  total ms"]
-    for name in sorted(totals, key=lambda n: totals[n][1], reverse=True):
-        count, seconds = totals[name]
+    width = max(len(name) for name in stats)
+    lines = [
+        f"{'stage'.ljust(width)}  calls  total ms    p50 ms    p95 ms"
+    ]
+    for name in sorted(
+        stats, key=lambda n: stats[n]["total_s"], reverse=True
+    ):
+        row = stats[name]
         lines.append(
-            f"{name.ljust(width)}  {count:>5}  {seconds * 1e3:>8.1f}"
+            f"{name.ljust(width)}  {int(row['count']):>5}  "
+            f"{row['total_s'] * 1e3:>8.1f}  "
+            f"{row['p50_s'] * 1e3:>8.2f}  {row['p95_s'] * 1e3:>8.2f}"
         )
     return "\n".join(lines)
 
@@ -92,6 +99,20 @@ def test_kde_fast_path_speedup(benchmark):
         registry.gauge("kde.bench.n").set(float(KDE_N))
 
     rel_err = float(np.max(np.abs(binned - exact)) / exact.max())
+    record_bench(
+        "kde_scaling",
+        wall_s=exact_s + binned_s,
+        collector=collector,
+        registry=registry,
+        results={
+            "exact_s": exact_s,
+            "binned_s": binned_s,
+            "speedup": exact_s / binned_s,
+            "max_rel_err": rel_err,
+        },
+        params={"n": KDE_N, "grid": KDE_GRID},
+        seed=0,
+    )
     print()
     print(f"-- KDE grid evaluation (n={KDE_N}, num={KDE_GRID}) --")
     print(f"exact:  {exact_s * 1e3:9.1f} ms")
@@ -134,6 +155,15 @@ def test_parallel_fit_identity_and_timing(benchmark):
     np.testing.assert_array_equal(serial.tiers, parallel.tiers)
     np.testing.assert_array_equal(
         serial.group_indices, parallel.group_indices
+    )
+    record_bench(
+        "parallel_fit",
+        wall_s=serial_s + parallel_s,
+        collector=collector,
+        registry=registry,
+        results={"serial_s": serial_s, "parallel_s": parallel_s},
+        params={"n": int(downloads.size), "jobs": 2},
+        seed=0,
     )
 
     print()

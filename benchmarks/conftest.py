@@ -5,9 +5,13 @@ prints the rendered experiment report (visible with ``pytest -s`` and
 recorded in bench_output.txt), asserts the paper's qualitative shape, and
 times the regeneration via pytest-benchmark.
 
-Each run executes under a :mod:`repro.obs` span collector, so the report
-is followed by a per-stage timing table (span name, calls, total ms) and
-``result.timings`` carries the same numbers for downstream tooling.
+Each run executes under :mod:`repro.obs` sinks, so the report is followed
+by a per-stage timing table (span name, calls, total ms, p50/p95 ms) and
+``result.timings`` carries the same numbers for downstream tooling.  Every
+benchmarked experiment also emits a ``BENCH_<experiment_id>.json`` run
+manifest (git SHA, config hash, span digest, metrics, quality report) and
+-- unless ``REPRO_LEDGER`` disables it -- appends the same manifest to the
+run ledger so ``repro obs check`` can track benchmark regressions.
 
 Dataset generation is memoised in :mod:`repro.experiments.data`, so one
 pytest session touches each simulated dataset once.
@@ -18,7 +22,8 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import ExperimentResult, Scale, run_experiment
-from repro.obs import use_collector
+from repro.obs import use_collector, use_quality, use_registry
+from repro.obs.runs import record_bench
 
 BENCH_SCALE = Scale.MEDIUM
 BENCH_SEED = 0
@@ -26,17 +31,21 @@ BENCH_SEED = 0
 
 def _stage_table(collector) -> str:
     """Per-span-name timing summary of one benchmarked run."""
-    totals = collector.aggregate()
-    if not totals:
+    stats = collector.aggregate_stats()
+    if not stats:
         return "(no spans recorded)"
-    width = max(len(name) for name in totals)
-    lines = [f"{'stage'.ljust(width)}  calls  total ms"]
+    width = max(len(name) for name in stats)
+    lines = [
+        f"{'stage'.ljust(width)}  calls  total ms    p50 ms    p95 ms"
+    ]
     for name in sorted(
-        totals, key=lambda n: totals[n][1], reverse=True
+        stats, key=lambda n: stats[n]["total_s"], reverse=True
     ):
-        count, seconds = totals[name]
+        row = stats[name]
         lines.append(
-            f"{name.ljust(width)}  {count:>5}  {seconds * 1e3:>8.1f}"
+            f"{name.ljust(width)}  {int(row['count']):>5}  "
+            f"{row['total_s'] * 1e3:>8.1f}  "
+            f"{row['p50_s'] * 1e3:>8.2f}  {row['p95_s'] * 1e3:>8.2f}"
         )
     return "\n".join(lines)
 
@@ -53,9 +62,24 @@ def experiment_runner():
                 experiment_id, scale=BENCH_SCALE, seed=BENCH_SEED
             )
 
-        with use_collector() as collector:
-            result = benchmark.pedantic(once, rounds=1, iterations=1)
+        with use_collector() as collector, use_registry() as registry:
+            with use_quality() as quality:
+                result = benchmark.pedantic(once, rounds=1, iterations=1)
         cache[experiment_id] = result
+        record_bench(
+            experiment_id,
+            wall_s=result.timings.get("total_s", 0.0),
+            collector=collector,
+            registry=registry,
+            quality=quality,
+            results=dict(result.metrics),
+            params={
+                "experiment_id": experiment_id,
+                "scale": BENCH_SCALE.value,
+                "seed": BENCH_SEED,
+            },
+            seed=BENCH_SEED,
+        )
         print()
         print(result.render())
         print()

@@ -10,6 +10,8 @@ Subcommands cover the full reproduction workflow:
 - ``repro list-experiments``: show the registry.
 - ``repro audit``: metadata audit + Section 8 recommendations for a CSV.
 - ``repro challenge``: challenge-process triage for a contextualised CSV.
+- ``repro obs``: inspect the run ledger (``runs`` / ``show`` / ``diff`` /
+  ``check``).
 
 Every command is deterministic given ``--seed``, and every command
 accepts the shared observability flags (``--log-level``, ``--log-format``,
@@ -17,6 +19,13 @@ accepts the shared observability flags (``--log-level``, ``--log-format``,
 docs/OBSERVABILITY.md) plus ``--jobs N`` to fan independent BST fits out
 over a process pool (results identical to serial; see
 docs/PERFORMANCE.md).
+
+Every run additionally appends a provenance manifest (run id, config
+hash, seed, git SHA, wall time, peak RSS, span digest, metrics and
+quality snapshots) to the JSONL run ledger -- ``results/runs.jsonl`` by
+default, another path via ``--ledger``, off via ``--no-ledger`` or
+``REPRO_LEDGER=0``.  With the ledger disabled the CLI installs no sinks
+and its output is byte-identical to an unledgered build.
 """
 
 from __future__ import annotations
@@ -78,6 +87,17 @@ def _obs_parent() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1, metavar="N",
         help="worker processes for independent BST fits "
              "(1 = serial, 0 = all CPUs); results are identical to serial",
+    )
+    ledger = parent.add_argument_group("run ledger")
+    ledger.add_argument(
+        "--ledger", metavar="FILE.jsonl", default=None,
+        help="run-ledger path (default results/runs.jsonl, or the "
+             "REPRO_LEDGER env var; every run appends a provenance "
+             "manifest)",
+    )
+    ledger.add_argument(
+        "--no-ledger", action="store_true",
+        help="do not record this run in the run ledger",
     )
     return parent
 
@@ -220,6 +240,72 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed(dossier)
     dossier.set_defaults(func=_cmd_dossier)
 
+    obs_cmd = subparser("obs", "inspect the run ledger")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    obs_runs = obs_sub.add_parser(
+        "runs", parents=obs, help="list recorded runs"
+    )
+    obs_runs.add_argument(
+        "--kind", choices=("cli", "experiment", "bench"), default=None
+    )
+    obs_runs.add_argument(
+        "--name", default=None,
+        help="filter by run name (e.g. experiment.tab2)",
+    )
+    obs_runs.add_argument(
+        "--last", type=int, default=20, metavar="N",
+        help="show only the N most recent matching runs",
+    )
+    obs_runs.set_defaults(func=_cmd_obs_runs, ledger_exempt=True)
+
+    obs_show = obs_sub.add_parser(
+        "show", parents=obs, help="show one run's full manifest"
+    )
+    obs_show.add_argument(
+        "run_id", help="run id or unique prefix ('latest' for the last run)"
+    )
+    obs_show.set_defaults(func=_cmd_obs_show, ledger_exempt=True)
+
+    obs_diff = obs_sub.add_parser(
+        "diff", parents=obs, help="compare two recorded runs"
+    )
+    obs_diff.add_argument("run_a")
+    obs_diff.add_argument("run_b")
+    obs_diff.set_defaults(func=_cmd_obs_diff, ledger_exempt=True)
+
+    obs_check = obs_sub.add_parser(
+        "check",
+        parents=obs,
+        help="compare the latest run against a rolling baseline; "
+             "non-zero exit on regression",
+    )
+    obs_check.add_argument(
+        "--run", default=None,
+        help="run id to check (default: the most recent run)",
+    )
+    obs_check.add_argument(
+        "--baseline-n", type=int, default=5, metavar="K",
+        help="rolling-baseline window: mean of the K previous runs "
+             "with the same kind and name",
+    )
+    obs_check.add_argument(
+        "--max-slowdown", type=float, default=50.0, metavar="PCT",
+        help="fail when wall time exceeds the baseline mean by more "
+             "than PCT percent",
+    )
+    obs_check.add_argument(
+        "--max-metric-delta", type=float, default=10.0, metavar="PCT",
+        help="fail when a headline result drifts from the baseline "
+             "mean by more than PCT percent",
+    )
+    obs_check.add_argument(
+        "--max-quality-delta", type=float, default=0.05, metavar="ABS",
+        help="fail when a quality rate (NaN/negative/outlier/unmapped) "
+             "moves by more than ABS from the baseline mean",
+    )
+    obs_check.set_defaults(func=_cmd_obs_check, ledger_exempt=True)
+
     return parser
 
 
@@ -272,6 +358,10 @@ def _cmd_evaluate(args) -> int:
         mba["download_mbps"], mba["upload_mbps"], jobs=args.jobs
     )
     report = accuracy_report(result, mba["tier"])
+    args.run_results = {
+        "upload_group_accuracy": report.upload_group_accuracy,
+        "tier_accuracy": report.tier_accuracy,
+    }
     print(
         f"State-{args.state} ({catalog.isp_name}), "
         f"{report.n_measurements} measurements"
@@ -296,6 +386,9 @@ def _cmd_experiment(args) -> int:
         seed=args.seed,
         jobs=args.jobs,
     )
+    # Headline numbers flow into the run manifest (repro obs check
+    # compares them across runs).
+    args.run_results = dict(result.metrics)
     print(result.render())
     return 0
 
@@ -316,6 +409,7 @@ def _cmd_report_all(args) -> int:
         scale=Scale(args.scale),
         seed=args.seed,
         jobs=args.jobs,
+        ledger=getattr(args, "resolved_ledger", None),
     )
     print(
         f"exported {len(results)} experiment reports to {args.out_dir} "
@@ -382,26 +476,321 @@ def _cmd_dossier(args) -> int:
     return 0
 
 
-def _run_with_obs(args) -> int:
+# ---------------------------------------------------------------------------
+# Run-ledger inspection (repro obs ...)
+# ---------------------------------------------------------------------------
+def _open_ledger(args):
+    """The ledger an ``obs`` command reads (explicit flag, env, default)."""
+    from repro.obs.runs import RunLedger, default_ledger_path
+
+    path = args.ledger or default_ledger_path()
+    if path is None:
+        print(
+            "error: run ledger disabled (REPRO_LEDGER=0); "
+            "pass --ledger FILE.jsonl",
+            file=sys.stderr,
+        )
+        return None
+    return RunLedger(path)
+
+
+def _cmd_obs_runs(args) -> int:
+    ledger = _open_ledger(args)
+    if ledger is None:
+        return 2
+    manifests = ledger.matching(kind=args.kind, name=args.name)
+    if not manifests:
+        print(f"no matching runs in {ledger.path}")
+        return 0
+    rows = [
+        [
+            m.run_id,
+            m.started_utc,
+            m.kind,
+            m.name,
+            f"{m.wall_s:.2f}",
+            (m.git_sha or "")[:7] or "n/a",
+            "ok" if not m.exit_code else f"exit {m.exit_code}",
+        ]
+        for m in manifests[-max(args.last, 1):]
+    ]
+    print(
+        format_table(
+            rows,
+            ["run id", "started (UTC)", "kind", "name", "wall s",
+             "git", "status"],
+        )
+    )
+    print(f"{len(manifests)} matching runs in {ledger.path}")
+    return 0
+
+
+def _cmd_obs_show(args) -> int:
+    ledger = _open_ledger(args)
+    if ledger is None:
+        return 2
+    try:
+        manifest = ledger.find(args.run_id)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(manifest.render())
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    ledger = _open_ledger(args)
+    if ledger is None:
+        return 2
+    try:
+        a = ledger.find(args.run_a)
+        b = ledger.find(args.run_b)
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print("\n".join(_diff_lines(a, b)))
+    return 0
+
+
+def _diff_lines(a, b) -> list[str]:
+    lines = [f"== diff {a.run_id} .. {b.run_id} =="]
+
+    def same_or_changed(label: str, va, vb, short: int | None = None):
+        def fmt(value):
+            if value is None or value == "":
+                return "n/a"
+            text = str(value)
+            return text[:short] if short else text
+
+        if va == vb:
+            lines.append(f"{label}: unchanged ({fmt(va)})")
+        else:
+            lines.append(f"{label}: {fmt(va)} -> {fmt(vb)}")
+
+    same_or_changed("kind/name", f"{a.kind}/{a.name}", f"{b.kind}/{b.name}")
+    same_or_changed("git sha", a.git_sha, b.git_sha, short=12)
+    same_or_changed("config hash", a.config_hash, b.config_hash, short=12)
+    same_or_changed("seed", a.seed, b.seed)
+    lines.append(
+        f"wall time: {a.wall_s:.3f} s -> {b.wall_s:.3f} s "
+        f"({_pct_delta(a.wall_s, b.wall_s)})"
+    )
+    if a.peak_rss_bytes and b.peak_rss_bytes:
+        lines.append(
+            f"peak RSS: {a.peak_rss_bytes / 2**20:.1f} MiB -> "
+            f"{b.peak_rss_bytes / 2**20:.1f} MiB "
+            f"({_pct_delta(a.peak_rss_bytes, b.peak_rss_bytes)})"
+        )
+    keys = sorted(set(a.results) | set(b.results))
+    if keys:
+        lines.append("-- results --")
+        for key in keys:
+            va, vb = a.results.get(key), b.results.get(key)
+            if va is None or vb is None:
+                lines.append(
+                    f"{key}: {_opt(va)} -> {_opt(vb)} (only one run)"
+                )
+            else:
+                lines.append(
+                    f"{key}: {va:.6g} -> {vb:.6g} ({_pct_delta(va, vb)})"
+                )
+    qa = a.quality.scalars() if a.quality else {}
+    qb = b.quality.scalars() if b.quality else {}
+    changed = [
+        key
+        for key in sorted(set(qa) | set(qb))
+        if abs(qa.get(key, 0.0) - qb.get(key, 0.0)) > 1e-12
+    ]
+    if changed:
+        lines.append("-- quality --")
+        for key in changed:
+            lines.append(
+                f"{key}: {_opt(qa.get(key))} -> {_opt(qb.get(key))}"
+            )
+    stages = sorted(
+        set(a.span_table) | set(b.span_table),
+        key=lambda n: -abs(
+            b.span_table.get(n, {}).get("total_s", 0.0)
+            - a.span_table.get(n, {}).get("total_s", 0.0)
+        ),
+    )
+    if stages:
+        lines.append("-- span stages (top movement) --")
+        for name in stages[:8]:
+            ta = a.span_table.get(name, {}).get("total_s", 0.0)
+            tb = b.span_table.get(name, {}).get("total_s", 0.0)
+            lines.append(
+                f"{name}: {ta * 1e3:.1f} ms -> {tb * 1e3:.1f} ms "
+                f"({_pct_delta(ta, tb)})"
+            )
+    return lines
+
+
+def _pct_delta(before: float, after: float) -> str:
+    if not before:
+        return "n/a"
+    delta = (after - before) / before * 100.0
+    return f"{delta:+.1f}%"
+
+
+def _opt(value) -> str:
+    return "n/a" if value is None else f"{value:.6g}"
+
+
+def _cmd_obs_check(args) -> int:
+    ledger = _open_ledger(args)
+    if ledger is None:
+        return 2
+    try:
+        target = ledger.find(args.run or "latest")
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    history = ledger.matching(kind=target.kind, name=target.name)
+    try:
+        cut = next(
+            i for i, m in enumerate(history) if m.run_id == target.run_id
+        )
+    except StopIteration:
+        cut = len(history)
+    baseline = history[max(0, cut - max(args.baseline_n, 1)):cut]
+    if not baseline:
+        print(
+            f"run {target.run_id} ({target.name}): no earlier matching "
+            "runs to compare against; recording as baseline"
+        )
+        return 0
+
+    failures: list[str] = []
+    checks = 0
+
+    base_wall = sum(m.wall_s for m in baseline) / len(baseline)
+    checks += 1
+    if base_wall > 0:
+        slowdown = (target.wall_s - base_wall) / base_wall * 100.0
+        if slowdown > args.max_slowdown:
+            failures.append(
+                f"timing regression: wall {target.wall_s:.3f} s is "
+                f"{slowdown:+.1f}% vs baseline mean {base_wall:.3f} s "
+                f"(threshold {args.max_slowdown:.0f}%)"
+            )
+
+    for key in sorted(target.results):
+        base_values = [
+            m.results[key] for m in baseline if key in m.results
+        ]
+        base_values = [v for v in base_values if v == v]  # drop NaN
+        value = target.results[key]
+        if not base_values or value != value:
+            continue
+        checks += 1
+        base_mean = sum(base_values) / len(base_values)
+        if base_mean == 0:
+            continue
+        drift = abs(value - base_mean) / abs(base_mean) * 100.0
+        if drift > args.max_metric_delta:
+            failures.append(
+                f"result drift: {key} = {value:.6g} is {drift:.1f}% off "
+                f"baseline mean {base_mean:.6g} "
+                f"(threshold {args.max_metric_delta:.0f}%)"
+            )
+
+    target_quality = target.quality.scalars() if target.quality else {}
+    for key in sorted(target_quality):
+        if key.endswith("tail_ratio") or key.endswith("tier_entropy"):
+            continue  # unbounded scales; covered by results/entropy_norm
+        base_values = [
+            m.quality.scalars()[key]
+            for m in baseline
+            if m.quality and key in m.quality.scalars()
+        ]
+        if not base_values:
+            continue
+        checks += 1
+        base_mean = sum(base_values) / len(base_values)
+        delta = abs(target_quality[key] - base_mean)
+        if delta > args.max_quality_delta:
+            failures.append(
+                f"quality drift: {key} = {target_quality[key]:.4f} moved "
+                f"{delta:.4f} from baseline mean {base_mean:.4f} "
+                f"(threshold {args.max_quality_delta:.2f})"
+            )
+
+    label = (
+        f"run {target.run_id} ({target.name}) vs {len(baseline)}-run "
+        f"rolling baseline"
+    )
+    if failures:
+        print(f"{label}: {len(failures)} regression(s)")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1
+    print(f"{label}: ok ({checks} checks)")
+    return 0
+
+
+def _resolve_ledger(args) -> "str | None":
+    """The ledger path a command should record to, or ``None``.
+
+    Read-only ``obs`` subcommands (``ledger_exempt``) and ``--no-ledger``
+    never record.  An explicit ``--ledger`` wins over the ``REPRO_LEDGER``
+    environment variable (so a test can force one on even when the env
+    disables it), which wins over the ``results/runs.jsonl`` default.
+    """
+    from repro.obs.runs import default_ledger_path
+
+    if getattr(args, "ledger_exempt", False) or getattr(
+        args, "no_ledger", False
+    ):
+        return None
+    explicit = getattr(args, "ledger", None)
+    if explicit:
+        return str(explicit)
+    path = default_ledger_path()
+    return str(path) if path is not None else None
+
+
+def _manifest_name(args) -> str:
+    """Ledger name for this invocation (the `obs check` grouping key)."""
+    if args.command == "experiment":
+        return f"experiment.{args.experiment_id}"
+    return args.command
+
+
+def _run_with_obs(args, argv: "list[str] | None" = None) -> int:
     """Dispatch a parsed command inside the requested obs session.
 
-    With no obs flags this adds nothing: no collector, no registry, no
-    handlers -- the command runs exactly as before.  Otherwise the
-    requested sinks are installed around the command and their outputs
-    (metrics summary, trace file, profile) emitted after it returns.
+    With no obs flags and the ledger disabled this adds nothing: no
+    collector, no registry, no handlers -- the command runs exactly as
+    before.  Otherwise the requested sinks are installed around the
+    command and their outputs (metrics summary, trace file, profile)
+    emitted after it returns.  When the run ledger is enabled (the
+    default; see ``--ledger``/``--no-ledger``/``REPRO_LEDGER``) a span
+    collector, metrics registry, and quality monitor always run so the
+    appended manifest carries the span digest, metrics snapshot, and
+    quality report -- printed output is still governed by the flags.
     """
     from repro import obs
     from repro.obs import metrics as obs_metrics
     from repro.obs import trace as obs_trace
+    from repro.obs import quality as obs_quality
 
     if args.log_level:
         obs.configure_logging(level=args.log_level, fmt=args.log_format)
 
-    collector = obs.SpanCollector() if args.trace_out else None
-    registry = obs.MetricsRegistry() if args.metrics else None
+    ledger_path = _resolve_ledger(args)
+    args.resolved_ledger = ledger_path
+
+    collector = (
+        obs.SpanCollector() if (args.trace_out or ledger_path) else None
+    )
+    registry = (
+        obs.MetricsRegistry() if (args.metrics or ledger_path) else None
+    )
+    quality = obs_quality.QualityMonitor() if ledger_path else None
     report = None
 
-    if collector is not None:
+    if args.trace_out:
         # Fail fast on an unwritable trace path rather than discovering
         # it only after the (possibly long) command has finished.
         try:
@@ -411,6 +800,23 @@ def _run_with_obs(args) -> int:
             print(f"error: cannot write --trace-out: {exc}", file=sys.stderr)
             return 2
 
+    recorder = None
+    if ledger_path:
+        from repro.obs.runs import RunRecorder
+
+        recorder = RunRecorder(
+            kind="cli",
+            name=_manifest_name(args),
+            argv=list(argv) if argv is not None else None,
+            params={
+                key: value
+                for key, value in vars(args).items()
+                if key not in ("func", "ledger_exempt", "resolved_ledger")
+                and not callable(value)
+            },
+            seed=getattr(args, "seed", None),
+        )
+
     # NB: "is not None" -- the collector/registry are sized containers,
     # so an empty one is falsy.
     prev_collector = (
@@ -419,24 +825,56 @@ def _run_with_obs(args) -> int:
     prev_registry = (
         obs_metrics.set_registry(registry) if registry is not None else None
     )
+    prev_quality = (
+        obs_quality.set_quality(quality) if quality is not None else None
+    )
     try:
-        if args.profile:
-            from repro.obs.profile import profile_block
+        if recorder is not None:
+            recorder.__enter__()
+        try:
+            if args.profile:
+                from repro.obs.profile import profile_block
 
-            with profile_block() as report:
+                with profile_block() as report:
+                    code = args.func(args)
+            else:
                 code = args.func(args)
-        else:
-            code = args.func(args)
+        finally:
+            if recorder is not None:
+                recorder.__exit__(None, None, None)
     finally:
         if collector is not None:
             obs_trace.set_collector(prev_collector)
         if registry is not None:
             obs_metrics.set_registry(prev_registry)
+        if quality is not None:
+            obs_quality.set_quality(prev_quality)
 
-    if registry is not None:
+    if recorder is not None:
+        from repro.obs.runs import RunLedger
+
+        manifest = recorder.finish(
+            exit_code=code,
+            collector=collector,
+            registry=registry,
+            quality=quality,
+            results=getattr(args, "run_results", None),
+        )
+        try:
+            RunLedger(ledger_path).append(manifest)
+        except OSError as exc:
+            print(f"warning: could not append run ledger: {exc}",
+                  file=sys.stderr)
+        else:
+            print(
+                f"recorded run {manifest.run_id} -> {ledger_path}",
+                file=sys.stderr,
+            )
+
+    if args.metrics and registry is not None:
         print()
         print(registry.render())
-    if collector is not None:
+    if args.trace_out and collector is not None:
         n_spans = collector.export_jsonl(args.trace_out)
         print(f"wrote {n_spans} spans to {args.trace_out}")
     if report is not None:
@@ -450,7 +888,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _run_with_obs(args)
+    return _run_with_obs(args, argv=argv if argv is not None else sys.argv[1:])
 
 
 if __name__ == "__main__":

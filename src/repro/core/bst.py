@@ -25,6 +25,7 @@ from repro.core.parallel import parallel_map, resolve_jobs
 from repro.market.plans import PlanCatalog, UploadGroup
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger, kv
+from repro.obs.quality import get_quality
 from repro.obs.trace import span
 from repro.stats.gmm import GaussianMixture
 from repro.stats.kde import GaussianKDE
@@ -204,6 +205,14 @@ class BSTModel:
                 converged=fit.converged,
             )
         obs_metrics.counter("bst.upload_fits").inc()
+        quality = get_quality()
+        if quality.enabled:
+            # An upload group no mixture component mapped to has no
+            # defined cluster mean -- Table 3-style reports render n/a
+            # and downstream medians silently lose that plan.  Track how
+            # often fits leave groups unmapped.
+            n_unmapped = int(np.isnan(fit.cluster_means).sum())
+            quality.observe_group_mapping(n_unmapped, len(fit.groups))
         log.debug(
             "upload stage fitted",
             extra=kv(
@@ -434,6 +443,9 @@ class BSTModel:
         obs_metrics.counter("bst.measurements_assigned").inc(
             int(downloads.size)
         )
+        quality = get_quality()
+        if quality.enabled:
+            quality.observe_assignments(tiers)
         return BSTResult(
             catalog=self.catalog,
             upload_stage=upload_fit,

@@ -4,6 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.quality import QualityReport
 
 __all__ = ["ExperimentResult", "Scale"]
 
@@ -58,6 +62,12 @@ class ExperimentResult:
         :func:`repro.experiments.registry.run_experiment` -- always
         includes ``total_s``; per-stage entries appear when a span
         collector is active (``repro.obs``).
+    quality:
+        Data-quality snapshot (:class:`repro.obs.quality.QualityReport`)
+        of the run's inputs and assignments -- attached by
+        ``run_experiment`` when a quality monitor is active (the CLI
+        installs one whenever the run ledger is enabled), ``None``
+        otherwise.
     """
 
     experiment_id: str
@@ -67,6 +77,7 @@ class ExperimentResult:
     paper_values: dict[str, float] = field(default_factory=dict)
     notes: str = ""
     timings: dict[str, float] = field(default_factory=dict)
+    quality: "QualityReport | None" = None
 
     def render(self) -> str:
         """Full text report of the experiment."""
@@ -91,4 +102,7 @@ class ExperimentResult:
             lines.append("-- timings --")
             for key, seconds in self.timings.items():
                 lines.append(f"{key}: {seconds * 1e3:.1f} ms")
+        if self.quality is not None:
+            lines.append("-- data quality --")
+            lines.append(self.quality.render())
         return "\n".join(lines)

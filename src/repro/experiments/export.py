@@ -5,6 +5,12 @@ one scale and writes each rendered report to
 ``<out_dir>/<experiment>.txt`` plus a combined ``summary.txt`` and a
 machine-readable ``metrics.csv``.  The CLI's ``report-all`` subcommand
 wraps this.
+
+With ``ledger`` set, every experiment additionally appends a
+``kind="experiment"`` run manifest (name ``experiment.<id>``, carrying
+the experiment's headline metrics, span table, and quality report) to
+the given run ledger -- the per-experiment provenance trail ``repro obs
+check`` compares against.
 """
 
 from __future__ import annotations
@@ -24,12 +30,14 @@ def export_all(
     scale: Scale = Scale.MEDIUM,
     seed: int = 0,
     jobs: int = 1,
+    ledger: str | Path | None = None,
 ) -> dict[str, ExperimentResult]:
     """Run experiments and write their reports under ``out_dir``.
 
     Returns the results keyed by experiment id.  Unknown ids raise
     before anything runs.  ``jobs`` is forwarded to each experiment (see
-    :func:`run_experiment`).
+    :func:`run_experiment`).  ``ledger`` appends one run manifest per
+    experiment to the given JSONL run ledger (see module docstring).
     """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -47,7 +55,10 @@ def export_all(
         "paper": [],
     }
     for eid in ids:
-        result = run_experiment(eid, scale=scale, seed=seed, jobs=jobs)
+        if ledger is not None:
+            result = _run_with_manifest(eid, scale, seed, jobs, ledger)
+        else:
+            result = run_experiment(eid, scale=scale, seed=seed, jobs=jobs)
         results[eid] = result
         report = result.render()
         (out_dir / f"{eid.replace('/', '_')}.txt").write_text(
@@ -66,3 +77,38 @@ def export_all(
     (out_dir / "summary.txt").write_text("\n".join(summary_lines))
     write_csv(ColumnTable(metric_rows), out_dir / "metrics.csv")
     return results
+
+
+def _run_with_manifest(
+    eid: str, scale: Scale, seed: int, jobs: int, ledger: str | Path
+) -> ExperimentResult:
+    """Run one experiment under fresh obs sinks and ledger its manifest."""
+    from repro.obs import use_collector, use_quality, use_registry
+    from repro.obs.runs import RunLedger, RunRecorder
+
+    recorder = RunRecorder(
+        kind="experiment",
+        name=f"experiment.{eid}",
+        params={
+            "experiment_id": eid,
+            "scale": scale.value,
+            "seed": seed,
+            "jobs": jobs,
+        },
+        seed=seed,
+    )
+    with use_collector() as collector, use_registry() as registry:
+        with use_quality() as quality:
+            with recorder:
+                result = run_experiment(
+                    eid, scale=scale, seed=seed, jobs=jobs
+                )
+    manifest = recorder.finish(
+        exit_code=0,
+        collector=collector,
+        registry=registry,
+        quality=quality,
+        results=dict(result.metrics),
+    )
+    RunLedger(ledger).append(manifest)
+    return result

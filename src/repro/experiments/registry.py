@@ -7,6 +7,7 @@ import time
 from typing import Callable
 
 from repro.obs import metrics as obs_metrics
+from repro.obs.quality import get_quality
 from repro.obs.trace import get_collector, span
 
 from repro.experiments.base import ExperimentResult, Scale
@@ -114,6 +115,10 @@ def run_experiment(
     (the multi-city experiments fan their independent per-(city, ISP)
     fits out over a process pool); drivers without one run unchanged.
     Parallel runs produce the same results as serial ones.
+
+    When a quality monitor is active (``repro.obs.quality``), the
+    monitor's report is attached to ``result.quality`` and its headline
+    rates are published as ``quality.*`` gauges.
     """
     runner = get_experiment(experiment_id)
     kwargs: dict = {"scale": scale, "seed": seed}
@@ -138,4 +143,8 @@ def run_experiment(
         for name in sorted(stage_totals):
             result.timings[name] = stage_totals[name]
     result.timings["total_s"] = total
+    quality = get_quality()
+    if quality.enabled:
+        result.quality = quality.report()
+        result.quality.publish_metrics()
     return result

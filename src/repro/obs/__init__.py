@@ -19,6 +19,13 @@ from repro.obs.metrics import (
     set_registry,
     use_registry,
 )
+from repro.obs.quality import (
+    QualityMonitor,
+    QualityReport,
+    get_quality,
+    set_quality,
+    use_quality,
+)
 from repro.obs.trace import (
     Span,
     SpanCollector,
@@ -32,27 +39,42 @@ from repro.obs.trace import (
 __all__ = [
     "MetricsRegistry",
     "ProfileReport",
+    "QualityMonitor",
+    "QualityReport",
+    "RunLedger",
+    "RunManifest",
+    "RunRecorder",
     "Span",
     "SpanCollector",
     "configure_logging",
     "current_span",
     "get_collector",
     "get_logger",
+    "get_quality",
     "get_registry",
     "kv",
     "profile_block",
     "set_collector",
+    "set_quality",
     "set_registry",
     "span",
     "use_collector",
+    "use_quality",
     "use_registry",
 ]
 
+_RUNS_EXPORTS = ("RunLedger", "RunManifest", "RunRecorder")
+
 
 def __getattr__(name: str):
-    # cProfile/pstats load only when profiling is actually requested.
+    # cProfile/pstats load only when profiling is actually requested;
+    # the run-ledger machinery loads only when a manifest is recorded.
     if name in ("profile_block", "ProfileReport"):
         from repro.obs import profile as _profile
 
         return getattr(_profile, name)
+    if name in _RUNS_EXPORTS:
+        from repro.obs import runs as _runs
+
+        return getattr(_runs, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -22,9 +22,11 @@ Naming convention: ``<module>.<quantity>`` (e.g. ``em.iterations``,
 
 from __future__ import annotations
 
+import random
 import threading
+import zlib
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Any, Iterator
 
 __all__ = [
     "Counter",
@@ -71,13 +73,22 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution summary: count / min / mean / max.
+    """Streaming distribution summary: count / min / mean / max + quantiles.
 
-    Keeps O(1) state (no raw samples), which is enough for the summary
-    table and safe for arbitrarily long runs.
+    Keeps O(1) state — running count/total/min/max plus a bounded
+    reservoir sample (capacity :data:`RESERVOIR_CAPACITY`) from which
+    p50/p95/p99 are estimated — so arbitrarily long runs stay cheap.
+    The reservoir RNG is seeded from the instrument name (CRC32), so the
+    same observation sequence yields the same quantile estimates in
+    every process.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    RESERVOIR_CAPACITY = 1024
+
+    __slots__ = (
+        "name", "count", "total", "min", "max",
+        "_reservoir", "_rng", "_lock",
+    )
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -85,6 +96,8 @@ class Histogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self._reservoir: list[float] = []
+        self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -96,10 +109,70 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            # Algorithm R: item t replaces a random slot with prob cap/t.
+            if len(self._reservoir) < self.RESERVOIR_CAPACITY:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.RESERVOIR_CAPACITY:
+                    self._reservoir[slot] = value
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0..1) from the reservoir sample.
+
+        Exact while ``count <= RESERVOIR_CAPACITY``; an unbiased sample
+        estimate beyond that.  ``nan`` when nothing was observed.
+        """
+        with self._lock:
+            sample = sorted(self._reservoir)
+        if not sample:
+            return float("nan")
+        rank = min(len(sample) - 1, max(0, round(q * (len(sample) - 1))))
+        return sample[int(rank)]
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(0.99)
+
+    def _dump(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "count": self.count,
+                "total": self.total,
+                "min": self.min,
+                "max": self.max,
+                "reservoir": list(self._reservoir),
+            }
+
+    def _merge(self, dump: dict[str, Any]) -> None:
+        """Fold another histogram's dump into this one (worker merge)."""
+        with self._lock:
+            self.count += int(dump["count"])
+            self.total += float(dump["total"])
+            self.min = min(self.min, float(dump["min"]))
+            self.max = max(self.max, float(dump["max"]))
+            combined = self._reservoir + [
+                float(v) for v in dump["reservoir"]
+            ]
+            if len(combined) > self.RESERVOIR_CAPACITY:
+                # Deterministic down-sample (seeded from name + count).
+                rng = random.Random(
+                    zlib.crc32(self.name.encode("utf-8")) ^ self.count
+                )
+                combined = rng.sample(combined, self.RESERVOIR_CAPACITY)
+            self._reservoir = combined
 
 
 class _NullInstrument:
@@ -111,6 +184,12 @@ class _NullInstrument:
     count = 0
     total = 0.0
     mean = float("nan")
+    p50 = float("nan")
+    p95 = float("nan")
+    p99 = float("nan")
+
+    def percentile(self, q: float) -> float:
+        return float("nan")
 
     def inc(self, amount: float = 1.0) -> None:
         pass
@@ -186,9 +265,47 @@ class MetricsRegistry:
                     "count": h.count,
                     "min": h.min,
                     "mean": h.mean,
+                    "p50": h.p50,
+                    "p95": h.p95,
+                    "p99": h.p99,
                     "max": h.max,
                 }
             return out
+
+    def dump(self) -> dict[str, dict]:
+        """Full mergeable state (including histogram reservoirs).
+
+        Unlike :meth:`snapshot` (a human/JSON view), a dump can be fed
+        to :meth:`merge_dump` on another registry without losing the
+        quantile sketches — this is how :func:`repro.core.parallel.
+        parallel_map` folds worker-process metrics into the parent.
+        """
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in self._counters.items()
+                },
+                "gauges": {
+                    name: g.value for name, g in self._gauges.items()
+                },
+                "histograms": {
+                    name: h._dump() for name, h in self._histograms.items()
+                },
+            }
+
+    def merge_dump(self, dump: dict[str, dict]) -> None:
+        """Fold another registry's :meth:`dump` into this one.
+
+        Counters add, gauges take the incoming value (last write wins,
+        in merge order), histograms merge their summary state and
+        reservoirs deterministically.
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, hist_dump in dump.get("histograms", {}).items():
+            self.histogram(name)._merge(hist_dump)
 
     def __len__(self) -> int:
         with self._lock:
@@ -217,6 +334,9 @@ class MetricsRegistry:
                     f"histogram  n={entry['count']} "
                     f"min={entry['min']:g} "
                     f"mean={entry['mean']:.4g} "
+                    f"p50={entry['p50']:.4g} "
+                    f"p95={entry['p95']:.4g} "
+                    f"p99={entry['p99']:.4g} "
                     f"max={entry['max']:g}"
                 )
             rows.append(f"{name.ljust(width)}  {detail}")

@@ -39,12 +39,18 @@ __all__ = [
     "SpanCollector",
     "current_span",
     "get_collector",
+    "new_span_id",
     "set_collector",
     "span",
     "use_collector",
 ]
 
 _ids = itertools.count(1)  # itertools.count is atomic under CPython's GIL
+
+
+def new_span_id() -> int:
+    """A fresh process-unique span id (for adopting foreign spans)."""
+    return next(_ids)
 
 
 @dataclass
@@ -145,6 +151,77 @@ class SpanCollector:
             count, total = totals.get(sp.name, (0, 0.0))
             totals[sp.name] = (count + 1, total + sp.duration_s)
         return totals
+
+    def aggregate_stats(self) -> dict[str, dict[str, float]]:
+        """Per-name duration statistics over the finished spans.
+
+        Returns ``{name: {count, total_s, p50_s, p95_s, p99_s}}`` with
+        exact percentiles (every finished span is retained in-process).
+        This is the "span table" a run manifest records and the bench
+        harness prints.
+        """
+        durations: dict[str, list[float]] = {}
+        for sp in self.spans():
+            durations.setdefault(sp.name, []).append(sp.duration_s)
+        stats: dict[str, dict[str, float]] = {}
+        for name, values in durations.items():
+            values.sort()
+            n = len(values)
+
+            def q(frac: float) -> float:
+                return values[min(n - 1, max(0, round(frac * (n - 1))))]
+
+            stats[name] = {
+                "count": n,
+                "total_s": round(sum(values), 9),
+                "p50_s": round(q(0.50), 9),
+                "p95_s": round(q(0.95), 9),
+                "p99_s": round(q(0.99), 9),
+            }
+        return stats
+
+    def adopt_spans(
+        self,
+        rows: list[dict],
+        parent_id: int | None = None,
+        rebase_to: float | None = None,
+        **extra_attributes,
+    ) -> None:
+        """Re-record spans exported from another process.
+
+        ``rows`` are ``Span.to_dict()`` payloads from a worker's private
+        collector.  Ids are remapped to fresh local ids, worker-root
+        spans are re-parented under ``parent_id`` (e.g. the enclosing
+        ``parallel.map`` span), start times are shifted so the earliest
+        worker span aligns with ``rebase_to`` (durations are preserved
+        verbatim), and ``extra_attributes`` (e.g. ``worker=<pid>``) are
+        stamped on every adopted span.
+        """
+        if not rows:
+            return
+        id_map = {row["span_id"]: new_span_id() for row in rows}
+        offset = 0.0
+        if rebase_to is not None:
+            offset = rebase_to - min(row["start_s"] for row in rows)
+        base_depth = 0
+        if parent_id is not None:
+            base_depth = 1 + min(row.get("depth", 0) for row in rows)
+        for row in rows:
+            local_parent = row.get("parent_id")
+            adopted = Span(
+                name=row["name"],
+                span_id=id_map[row["span_id"]],
+                parent_id=(
+                    id_map[local_parent]
+                    if local_parent in id_map
+                    else parent_id
+                ),
+                depth=row.get("depth", 0) + base_depth,
+                start_s=row["start_s"] + offset,
+                end_s=row["start_s"] + offset + row["duration_s"],
+                attributes={**row.get("attributes", {}), **extra_attributes},
+            )
+            self.record(adopted)
 
     def export_jsonl(self, path) -> int:
         """Write one JSON object per finished span; returns the count.

@@ -18,6 +18,7 @@ from repro.frame import ColumnTable
 from repro.market.plans import PlanCatalog
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger, kv
+from repro.obs.quality import get_quality
 from repro.obs.trace import span
 from repro.stats.descriptive import normalized_values
 
@@ -90,6 +91,15 @@ def contextualize(
     downloads = np.asarray(table[download_column], dtype=float)
     uploads = np.asarray(table[upload_column], dtype=float)
     finite = np.isfinite(downloads) & np.isfinite(uploads)
+    quality = get_quality()
+    if quality.enabled:
+        # Observe the *raw* columns (before the finite filter) so NaN
+        # bursts and negative speeds in the input are what gets counted.
+        quality.field("contextualize.download_mbps").observe_array(downloads)
+        quality.field("contextualize.upload_mbps").observe_array(uploads)
+        quality.observe_dropped_rows(
+            int(len(table) - finite.sum()), int(len(table))
+        )
     if not finite.any():
         raise ValueError("no finite (download, upload) pairs to contextualize")
     with span(

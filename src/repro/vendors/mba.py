@@ -22,6 +22,7 @@ from repro.market.plans import PlanCatalog
 from repro.market.population import Household, Subscriber
 from repro.netsim.path import WIRED_PANEL_PROFILE, FlowProfile, PathSimulator
 from repro.obs import metrics as obs_metrics
+from repro.obs.quality import get_quality
 from repro.obs.trace import span
 from repro.vendors.schema import MBA_COLUMNS
 
@@ -151,6 +152,14 @@ class MBASimulator:
             table = self._generate(n_tests)
             sp.set(rows=len(table))
         obs_metrics.counter("tests.generated").inc(len(table))
+        quality = get_quality()
+        if quality.enabled:
+            quality.field("mba.download_mbps").observe_array(
+                table["download_mbps"]
+            )
+            quality.field("mba.upload_mbps").observe_array(
+                table["upload_mbps"]
+            )
         return table
 
     def _generate(self, n_tests: int | None) -> ColumnTable:

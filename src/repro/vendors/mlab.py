@@ -29,6 +29,7 @@ from repro.netsim.latency import LatencyModel
 from repro.netsim.path import SINGLE_FLOW_NDT_PROFILE, FlowProfile, PathSimulator
 from repro.netsim.servers import MLAB_POOL
 from repro.obs import metrics as obs_metrics
+from repro.obs.quality import get_quality
 from repro.obs.trace import span
 from repro.vendors.schema import MLAB_COLUMNS, sample_test_hour, sample_test_month
 
@@ -100,6 +101,17 @@ class MLabSimulator:
             table = self._generate(n_sessions)
             sp.set(rows=len(table))
         obs_metrics.counter("tests.generated").inc(len(table))
+        quality = get_quality()
+        if quality.enabled:
+            # NDT records are one-directional; sketch each direction.
+            speeds = np.asarray(table["speed_mbps"], dtype=float)
+            is_down = table["direction"] == "download"
+            quality.field("mlab.download_mbps").observe_array(
+                speeds[is_down]
+            )
+            quality.field("mlab.upload_mbps").observe_array(
+                speeds[~is_down]
+            )
         return table
 
     def _generate(self, n_sessions: int) -> ColumnTable:

@@ -25,6 +25,7 @@ from repro.netsim.latency import LatencyModel
 from repro.netsim.path import MULTI_FLOW_PROFILE, FlowProfile, PathSimulator
 from repro.netsim.servers import OOKLA_POOL
 from repro.obs import metrics as obs_metrics
+from repro.obs.quality import get_quality
 from repro.obs.trace import span
 from repro.vendors.schema import OOKLA_COLUMNS, sample_test_hour, sample_test_month
 
@@ -109,6 +110,17 @@ class OoklaSimulator:
             table = self._generate(n_tests)
             sp.set(rows=len(table))
         obs_metrics.counter("tests.generated").inc(len(table))
+        quality = get_quality()
+        if quality.enabled:
+            quality.field("ookla.download_mbps").observe_array(
+                table["download_mbps"]
+            )
+            quality.field("ookla.upload_mbps").observe_array(
+                table["upload_mbps"]
+            )
+            quality.field("ookla.latency_ms").observe_array(
+                table["latency_ms"]
+            )
         return table
 
     def _generate(self, n_tests: int) -> ColumnTable:

@@ -9,6 +9,18 @@ from __future__ import annotations
 import pytest
 
 from repro.market.isps import city_catalog, state_catalog
+
+
+@pytest.fixture(autouse=True)
+def _ledger_off(monkeypatch):
+    """Keep the run ledger out of the working tree during tests.
+
+    The CLI records every run to ``results/runs.jsonl`` by default;
+    tests must not leave artifacts behind (and stdout assertions must
+    not race manifest side effects).  Ledger-specific tests re-enable it
+    with an explicit ``--ledger``, which overrides this env disable.
+    """
+    monkeypatch.setenv("REPRO_LEDGER", "0")
 from repro.pipeline.contextualize import contextualize
 from repro.pipeline.ndt_join import join_ndt_tests
 from repro.vendors.mba import MBASimulator

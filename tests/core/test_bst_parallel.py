@@ -81,6 +81,63 @@ def _square(x):
     return x * x
 
 
+def _traced_square(x):
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.trace import span
+
+    with span("worker.square", task=x):
+        obs_metrics.counter("worker.calls").inc()
+        obs_metrics.histogram("worker.value").observe(float(x))
+        return x * x
+
+
+class TestWorkerObservability:
+    """Spans and metrics recorded inside pool workers reach the parent."""
+
+    def test_worker_spans_merged(self):
+        from repro.obs import use_collector
+
+        with use_collector() as collector:
+            parallel_map(_traced_square, list(range(6)), jobs=2)
+        names = [sp.name for sp in collector.spans()]
+        assert names.count("worker.square") == 6
+        pool_spans = [
+            sp for sp in collector.spans() if sp.name == "parallel.map"
+        ]
+        assert len(pool_spans) == 1
+        # Worker spans are re-parented under the pool span and tagged.
+        for sp in collector.spans():
+            if sp.name != "worker.square":
+                continue
+            assert sp.parent_id == pool_spans[0].span_id
+            assert "worker" in sp.attributes
+            assert "task" in sp.attributes
+
+    def test_worker_metrics_merged(self):
+        from repro.obs import use_registry
+
+        with use_registry() as registry:
+            parallel_map(_traced_square, list(range(8)), jobs=2)
+        snap = registry.snapshot()
+        assert snap["worker.calls"]["value"] == 8
+        assert snap["worker.value"]["count"] == 8
+        assert snap["worker.value"]["min"] == 0.0
+        assert snap["worker.value"]["max"] == 7.0
+
+    def test_serial_path_records_directly(self):
+        from repro.obs import use_collector, use_registry
+
+        with use_collector() as collector, use_registry() as registry:
+            parallel_map(_traced_square, list(range(3)), jobs=1)
+        names = [sp.name for sp in collector.spans()]
+        assert names.count("worker.square") == 3
+        assert registry.snapshot()["worker.calls"]["value"] == 3
+
+    def test_no_sinks_no_wrapping(self):
+        # With obs disabled the pool path still returns correct results.
+        assert parallel_map(_traced_square, [2, 3], jobs=2) == [4, 9]
+
+
 class TestParallelFitIdentity:
     def test_fit_identical_across_jobs(self, catalog):
         downloads, uploads = _sample(catalog)

@@ -75,6 +75,52 @@ class TestHistogram:
             pass
         assert math.isnan(reg.histogram("empty").mean)
 
+    def test_percentiles_exact_when_under_capacity(self):
+        with use_registry() as reg:
+            for v in range(101):  # 0..100, below reservoir capacity
+                histogram("p").observe(float(v))
+        h = reg.histogram("p")
+        assert h.p50 == 50.0
+        assert h.p95 == 95.0
+        assert h.p99 == 99.0
+        assert h.percentile(0.0) == 0.0
+        assert h.percentile(1.0) == 100.0
+
+    def test_percentiles_approximate_when_sampled(self):
+        with use_registry() as reg:
+            for v in range(10_000):  # overflows the reservoir
+                histogram("big").observe(float(v))
+        h = reg.histogram("big")
+        assert h.count == 10_000
+        assert h.p50 == pytest.approx(5_000, rel=0.15)
+        assert h.p95 == pytest.approx(9_500, rel=0.1)
+
+    def test_empty_percentiles_are_nan(self):
+        with use_registry() as reg:
+            pass
+        assert math.isnan(reg.histogram("none").p50)
+        assert math.isnan(reg.histogram("none").p99)
+
+    def test_dump_merge_combines_registries(self):
+        with use_registry() as a:
+            counter("m.count").inc(2)
+            gauge("m.gauge").set(1.0)
+            for v in (1.0, 2.0):
+                histogram("m.hist").observe(v)
+        with use_registry() as b:
+            counter("m.count").inc(3)
+            gauge("m.gauge").set(4.0)
+            for v in (3.0, 4.0):
+                histogram("m.hist").observe(v)
+        a.merge_dump(b.dump())
+        assert a.counter("m.count").value == 5.0
+        assert a.gauge("m.gauge").value == 4.0  # last write wins
+        h = a.histogram("m.hist")
+        assert h.count == 4
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == 2.5
+
 
 class TestRegistry:
     def test_snapshot_types(self):
@@ -97,6 +143,7 @@ class TestRegistry:
         assert text.index("a.first") < text.index("z.last")
         assert "counter" in text and "histogram" in text
         assert "n=1" in text
+        assert "p95=" in text
 
     def test_render_empty(self):
         assert "(no metrics recorded)" in MetricsRegistry().render()
