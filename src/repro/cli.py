@@ -10,6 +10,10 @@ Subcommands cover the full reproduction workflow:
 - ``repro list-experiments``: show the registry.
 - ``repro audit``: metadata audit + Section 8 recommendations for a CSV.
 - ``repro challenge``: challenge-process triage for a contextualised CSV.
+- ``repro serve``: run the tier-assignment HTTP service over a model
+  registry (fitting and registering the city's model on first use).
+- ``repro assign``: one-shot batch assignment from a registry (fit and
+  register on miss; warm runs skip the fit entirely).
 - ``repro obs``: inspect the run ledger (``runs`` / ``show`` / ``diff`` /
   ``check``).
 
@@ -225,6 +229,40 @@ def build_parser() -> argparse.ArgumentParser:
     challenge.add_argument("--ratio", type=float, default=0.5,
                            help="under-performance ratio threshold")
     challenge.set_defaults(func=_cmd_challenge)
+
+    serve = subparser(
+        "serve", "run the tier-assignment HTTP service (see docs/SERVING.md)"
+    )
+    _add_city(serve)
+    serve.add_argument(
+        "--registry", default="models", metavar="DIR",
+        help="model-registry directory (created if missing)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8000,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--n", type=int, default=20_000,
+        help="training sample size when the city's model must be fitted",
+    )
+    _add_seed(serve)
+    serve.set_defaults(func=_cmd_serve)
+
+    assign = subparser(
+        "assign",
+        "one-shot batch tier assignment from a model registry "
+        "(fits and registers on miss)",
+    )
+    assign.add_argument("--input", required=True, help="measurement CSV")
+    _add_city(assign, required=True)
+    assign.add_argument("--out", required=True, help="augmented CSV path")
+    assign.add_argument(
+        "--registry", default="models", metavar="DIR",
+        help="model-registry directory (created if missing)",
+    )
+    assign.set_defaults(func=_cmd_assign)
 
     describe = subparser(
         "describe", "print a city's plan menu and the BST pipeline over it"
@@ -457,6 +495,60 @@ def _cmd_challenge(args) -> int:
     print(
         f"\n{summary.counts.get('challenge-worthy', 0)} tests are "
         "evidence-grade for a coverage challenge."
+    )
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.registry import ModelRegistry
+    from repro.serve.server import (
+        ServeConfig,
+        build_server,
+        serve_until_shutdown,
+    )
+
+    registry = ModelRegistry(args.registry)
+    catalog = city_catalog(args.city)
+    key = registry.key_for(args.city, catalog)
+    if registry.lookup(key) is None:
+        print(
+            f"no model for City-{args.city} in {args.registry}; "
+            f"fitting on {args.n} simulated tests...",
+            flush=True,
+        )
+        tests = OoklaSimulator(args.city, seed=args.seed).generate(args.n)
+        contextualize(
+            tests, catalog, registry=registry, city=args.city, jobs=args.jobs
+        )
+    server = build_server(
+        registry,
+        ServeConfig(host=args.host, port=args.port, default_city=args.city),
+    )
+    host, port = server.server_address[:2]
+    # The smoke test and tooling parse this line to find the bound port.
+    print(f"serving on http://{host}:{port}", flush=True)
+    return serve_until_shutdown(server)
+
+
+def _cmd_assign(args) -> int:
+    from repro.serve.registry import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    catalog = city_catalog(args.city)
+    hit = registry.lookup(registry.key_for(args.city, catalog)) is not None
+    table = read_csv(args.input)
+    ctx = contextualize(
+        table, catalog, registry=registry, city=args.city, jobs=args.jobs
+    )
+    write_csv(ctx.table, args.out)
+    args.run_results = {
+        "rows": float(len(ctx)),
+        "registry_hit": float(hit),
+    }
+    print(
+        f"assigned {len(ctx)} rows from "
+        f"{'registered model' if hit else 'fresh fit (now registered)'} "
+        f"-> {args.out}"
     )
     return 0
 

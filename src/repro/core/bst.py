@@ -48,6 +48,12 @@ class UploadStageFit:
     mixture, including any off-menu components (e.g. the ~1 Mbps cluster
     the paper observes in M-Lab data, Section 5.1): each component maps
     to the upload group whose advertised speed is log-nearest.
+
+    ``component_variances``/``component_weights`` carry the full mixture
+    parameters (empty for k-means fits, which need only the means) so a
+    saved fit can assign *new* measurements later exactly as the fit-time
+    ``predict`` did -- the predictor contract :mod:`repro.serve` builds
+    on.  ``clustering`` records which estimator produced the labels.
     """
 
     groups: tuple[UploadGroup, ...]
@@ -59,6 +65,13 @@ class UploadStageFit:
     n_iter: int
     component_means: np.ndarray = field(default_factory=lambda: np.array([]))
     component_groups: tuple[int, ...] = ()
+    component_variances: np.ndarray = field(
+        default_factory=lambda: np.array([])
+    )
+    component_weights: np.ndarray = field(
+        default_factory=lambda: np.array([])
+    )
+    clustering: str = "gmm"
 
     def mean_for_group(self, group_index: int) -> float:
         """Fitted cluster mean for one upload group.
@@ -82,7 +95,9 @@ class DownloadStageFit:
     """Stage-two outcome for one upload group.
 
     ``cluster_tiers[j]`` is the plan tier that download cluster ``j``
-    (ascending by mean) was mapped to.
+    (ascending by mean) was mapped to.  ``cluster_variances`` holds the
+    full mixture variances (empty for k-means fits) so the stage can
+    assign new downloads later (see :mod:`repro.serve`).
     """
 
     group_index: int
@@ -92,6 +107,10 @@ class DownloadStageFit:
     cluster_tiers: tuple[int, ...]
     kde_peak_count: int
     n_components: int
+    cluster_variances: np.ndarray = field(
+        default_factory=lambda: np.array([])
+    )
+    clustering: str = "gmm"
 
 
 @dataclass
@@ -240,6 +259,7 @@ class BSTModel:
             min_prominence_frac=self.config.min_prominence_frac,
             min_height_frac=self.config.min_height_frac,
             log_space=self.config.kde_log_space,
+            kde_method=self.config.kde_method,
         )
         offered = np.asarray([g.upload_mbps for g in groups], dtype=float)
 
@@ -275,7 +295,7 @@ class BSTModel:
         else:
             means_init = None
         k = k_groups + n_extra
-        labels, means, weights, converged, n_iter = self._cluster(
+        labels, means, weights, variances, converged, n_iter = self._cluster(
             uploads,
             k,
             means_init,
@@ -319,6 +339,9 @@ class BSTModel:
             n_iter=n_iter,
             component_means=means,
             component_groups=component_groups,
+            component_variances=variances,
+            component_weights=weights,
+            clustering=self.config.clustering,
         )
         return fit, group_indices
 
@@ -353,6 +376,7 @@ class BSTModel:
                 min_prominence_frac=self.config.min_prominence_frac,
                 min_height_frac=self.config.min_height_frac,
                 log_space=self.config.kde_log_space,
+                kde_method=self.config.kde_method,
             )
             # At least one cluster per offered plan; WiFi degradation can
             # create more (the paper caps the extra structure at 10).
@@ -362,7 +386,9 @@ class BSTModel:
                 )
             )
             k = min(k, downloads.size)
-            labels, means, weights, _, _ = self._cluster(downloads, k, None)
+            labels, means, weights, variances, _, _ = self._cluster(
+                downloads, k, None
+            )
             with span("bst.assign", stage="download", n=int(downloads.size)):
                 counts = np.bincount(labels, minlength=k)
                 cluster_tiers = tuple(
@@ -381,6 +407,8 @@ class BSTModel:
             cluster_tiers=cluster_tiers,
             kde_peak_count=peak_count,
             n_components=k,
+            cluster_variances=variances,
+            clustering=self.config.clustering,
         )
         return fit, tiers
 
@@ -461,8 +489,12 @@ class BSTModel:
         k: int,
         means_init: np.ndarray | None,
         mean_prior: float = 0.0,
-    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, bool, int]:
-        """Run the configured clusterer; returns labels/means/weights."""
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, bool, int]:
+        """Run the configured clusterer.
+
+        Returns labels/means/weights/variances (variances are empty for
+        k-means, whose predictor needs only the centers).
+        """
         if self.config.clustering == "gmm":
             gmm = GaussianMixture(
                 k,
@@ -480,6 +512,7 @@ class BSTModel:
                 labels,
                 fit.means,
                 fit.weights,
+                fit.variances,
                 fit.converged,
                 fit.n_iter,
             )
@@ -487,7 +520,14 @@ class BSTModel:
         fit = kmeans.fit(values)
         labels = kmeans.predict(values)
         weights = np.bincount(labels, minlength=k) / values.size
-        return labels, fit.centers, weights, fit.converged, fit.n_iter
+        return (
+            labels,
+            fit.centers,
+            weights,
+            np.array([]),
+            fit.converged,
+            fit.n_iter,
+        )
 
 
 def _download_stage_task(

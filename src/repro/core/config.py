@@ -28,6 +28,11 @@ class BSTConfig:
     kde_log_space:
         Count KDE peaks on log-transformed speeds (speeds span decades;
         a linear bandwidth over-smooths the narrow low-speed clusters).
+    kde_method:
+        KDE grid evaluation strategy for the peak-count probes:
+        ``"auto"`` (default) engages the linear-binning fast path at
+        large n, ``"exact"``/``"binned"`` force one path (see
+        docs/PERFORMANCE.md).
     gmm_max_iter / gmm_tol:
         EM stopping parameters.
     upload_mean_prior:
@@ -53,6 +58,7 @@ class BSTConfig:
     min_height_frac: float = 0.02
     kde_grid_points: int = 512
     kde_log_space: bool = True
+    kde_method: str = "auto"
     gmm_max_iter: int = 200
     gmm_tol: float = 1e-6
     upload_mean_prior: float = 0.2
@@ -69,5 +75,10 @@ class BSTConfig:
             )
         if self.kde_grid_points < 16:
             raise ValueError("kde_grid_points must be >= 16")
+        if self.kde_method not in ("auto", "exact", "binned"):
+            raise ValueError(
+                "kde_method must be 'auto', 'exact', or 'binned', "
+                f"got {self.kde_method!r}"
+            )
         if self.upload_mean_prior < 0:
             raise ValueError("upload_mean_prior cannot be negative")

@@ -1,14 +1,24 @@
 """JSON serialisation of plan catalogs and BST fits.
 
 Contextualising a large city is the pipeline's dominant cost; saving
-the fit lets the CLI and downstream tools reuse assignments without
-refitting.  Everything round-trips through plain JSON-able dicts.
+the fit lets the CLI, the model registry (:mod:`repro.serve.registry`),
+and downstream tools reuse assignments without refitting.  Everything
+round-trips through plain JSON-able dicts.
+
+Every payload carries a ``schema_version`` field.  Version 2 adds the
+mixture variances/weights and the ``clustering`` marker that the online
+tier-assignment predictor needs; version-1 payloads (no version field,
+or ``schema_version: 1``) still load, but cannot drive prediction on
+new data.  Unknown versions, truncated payloads, and corrupt JSON all
+raise ``ValueError`` with a message that names the problem -- a registry
+must never mis-deserialise a model silently.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -16,6 +26,7 @@ from repro.core.bst import BSTResult, DownloadStageFit, UploadStageFit
 from repro.market.plans import Plan, PlanCatalog
 
 __all__ = [
+    "SCHEMA_VERSION",
     "catalog_to_dict",
     "catalog_from_dict",
     "bst_result_to_dict",
@@ -24,10 +35,38 @@ __all__ = [
     "load_bst_result",
 ]
 
+SCHEMA_VERSION = 2
+
+_KNOWN_VERSIONS = (1, 2)
+
+
+def _check_schema(data: Mapping[str, Any], what: str) -> int:
+    """Validate a payload's ``schema_version``; returns the version.
+
+    A payload without the field is treated as legacy version 1 (written
+    before the field existed).  Anything else unknown raises
+    ``ValueError`` -- never ``KeyError`` -- so callers can distinguish
+    "wrong format" from a plain programming error.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"{what} payload must be a JSON object, "
+            f"got {type(data).__name__}"
+        )
+    version = data.get("schema_version", 1)
+    if not isinstance(version, int) or isinstance(version, bool) \
+            or version not in _KNOWN_VERSIONS:
+        raise ValueError(
+            f"unknown {what} schema_version {version!r}; this build "
+            f"reads versions {list(_KNOWN_VERSIONS)}"
+        )
+    return version
+
 
 def catalog_to_dict(catalog: PlanCatalog) -> dict:
     """Plain-dict form of a plan catalog."""
     return {
+        "schema_version": SCHEMA_VERSION,
         "isp_name": catalog.isp_name,
         "plans": [
             {
@@ -42,23 +81,35 @@ def catalog_to_dict(catalog: PlanCatalog) -> dict:
 
 
 def catalog_from_dict(data: dict) -> PlanCatalog:
-    """Inverse of :func:`catalog_to_dict`."""
-    plans = [
-        Plan(
-            download_mbps=entry["download_mbps"],
-            upload_mbps=entry["upload_mbps"],
-            tier=entry["tier"],
-            name=entry.get("name", ""),
-        )
-        for entry in data["plans"]
-    ]
-    return PlanCatalog(data["isp_name"], plans)
+    """Inverse of :func:`catalog_to_dict`.
+
+    Raises ``ValueError`` on unknown schema versions or truncated
+    payloads (missing fields).
+    """
+    _check_schema(data, "plan catalog")
+    try:
+        plans = [
+            Plan(
+                download_mbps=entry["download_mbps"],
+                upload_mbps=entry["upload_mbps"],
+                tier=entry["tier"],
+                name=entry.get("name", ""),
+            )
+            for entry in data["plans"]
+        ]
+        return PlanCatalog(data["isp_name"], plans)
+    except (KeyError, TypeError) as exc:
+        raise ValueError(
+            f"truncated plan catalog payload: missing or malformed "
+            f"field ({exc})"
+        ) from exc
 
 
 def bst_result_to_dict(result: BSTResult) -> dict:
     """Plain-dict form of a BST fit (JSON-serialisable)."""
     upload = result.upload_stage
     return {
+        "schema_version": SCHEMA_VERSION,
         "catalog": catalog_to_dict(result.catalog),
         "upload_stage": {
             "cluster_means": upload.cluster_means.tolist(),
@@ -69,6 +120,9 @@ def bst_result_to_dict(result: BSTResult) -> dict:
             "n_iter": upload.n_iter,
             "component_means": upload.component_means.tolist(),
             "component_groups": list(upload.component_groups),
+            "component_variances": upload.component_variances.tolist(),
+            "component_weights": upload.component_weights.tolist(),
+            "clustering": upload.clustering,
         },
         "download_stages": {
             str(gi): {
@@ -79,6 +133,8 @@ def bst_result_to_dict(result: BSTResult) -> dict:
                 "cluster_tiers": list(stage.cluster_tiers),
                 "kde_peak_count": stage.kde_peak_count,
                 "n_components": stage.n_components,
+                "cluster_variances": stage.cluster_variances.tolist(),
+                "clustering": stage.clustering,
             }
             for gi, stage in result.download_stages.items()
         },
@@ -88,43 +144,70 @@ def bst_result_to_dict(result: BSTResult) -> dict:
 
 
 def bst_result_from_dict(data: dict) -> BSTResult:
-    """Inverse of :func:`bst_result_to_dict`."""
-    catalog = catalog_from_dict(data["catalog"])
-    upload_data = data["upload_stage"]
-    upload = UploadStageFit(
-        groups=catalog.upload_groups(),
-        cluster_means=np.asarray(upload_data["cluster_means"]),
-        cluster_weights=np.asarray(upload_data["cluster_weights"]),
-        cluster_counts=np.asarray(
-            upload_data["cluster_counts"], dtype=np.int64
-        ),
-        kde_peak_count=int(upload_data["kde_peak_count"]),
-        converged=bool(upload_data["converged"]),
-        n_iter=int(upload_data["n_iter"]),
-        component_means=np.asarray(upload_data["component_means"]),
-        component_groups=tuple(upload_data["component_groups"]),
-    )
-    stages = {
-        int(gi): DownloadStageFit(
-            group_index=int(entry["group_index"]),
-            cluster_means=np.asarray(entry["cluster_means"]),
-            cluster_weights=np.asarray(entry["cluster_weights"]),
+    """Inverse of :func:`bst_result_to_dict`.
+
+    Raises ``ValueError`` (never ``KeyError``) on unknown schema
+    versions and on truncated payloads.  Version-1 payloads load with
+    empty predictor parameters (no variances/weights); applying such a
+    fit to new data via :class:`repro.serve.engine.TierAssigner` fails
+    with an informative error, refitting does not.
+    """
+    _check_schema(data, "BST fit")
+    try:
+        catalog = catalog_from_dict(data["catalog"])
+        upload_data = data["upload_stage"]
+        upload = UploadStageFit(
+            groups=catalog.upload_groups(),
+            cluster_means=np.asarray(upload_data["cluster_means"]),
+            cluster_weights=np.asarray(upload_data["cluster_weights"]),
             cluster_counts=np.asarray(
-                entry["cluster_counts"], dtype=np.int64
+                upload_data["cluster_counts"], dtype=np.int64
             ),
-            cluster_tiers=tuple(entry["cluster_tiers"]),
-            kde_peak_count=int(entry["kde_peak_count"]),
-            n_components=int(entry["n_components"]),
+            kde_peak_count=int(upload_data["kde_peak_count"]),
+            converged=bool(upload_data["converged"]),
+            n_iter=int(upload_data["n_iter"]),
+            component_means=np.asarray(upload_data["component_means"]),
+            component_groups=tuple(upload_data["component_groups"]),
+            component_variances=np.asarray(
+                upload_data.get("component_variances", []), dtype=float
+            ),
+            component_weights=np.asarray(
+                upload_data.get("component_weights", []), dtype=float
+            ),
+            clustering=str(upload_data.get("clustering", "gmm")),
         )
-        for gi, entry in data["download_stages"].items()
-    }
-    return BSTResult(
-        catalog=catalog,
-        upload_stage=upload,
-        download_stages=stages,
-        group_indices=np.asarray(data["group_indices"], dtype=np.int64),
-        tiers=np.asarray(data["tiers"], dtype=np.int64),
-    )
+        stages = {
+            int(gi): DownloadStageFit(
+                group_index=int(entry["group_index"]),
+                cluster_means=np.asarray(entry["cluster_means"]),
+                cluster_weights=np.asarray(entry["cluster_weights"]),
+                cluster_counts=np.asarray(
+                    entry["cluster_counts"], dtype=np.int64
+                ),
+                cluster_tiers=tuple(entry["cluster_tiers"]),
+                kde_peak_count=int(entry["kde_peak_count"]),
+                n_components=int(entry["n_components"]),
+                cluster_variances=np.asarray(
+                    entry.get("cluster_variances", []), dtype=float
+                ),
+                clustering=str(entry.get("clustering", "gmm")),
+            )
+            for gi, entry in data["download_stages"].items()
+        }
+        return BSTResult(
+            catalog=catalog,
+            upload_stage=upload,
+            download_stages=stages,
+            group_indices=np.asarray(data["group_indices"], dtype=np.int64),
+            tiers=np.asarray(data["tiers"], dtype=np.int64),
+        )
+    except ValueError:
+        raise
+    except (KeyError, TypeError, AttributeError) as exc:
+        raise ValueError(
+            f"truncated BST fit payload: missing or malformed field "
+            f"({exc})"
+        ) from exc
 
 
 def save_bst_result(result: BSTResult, path: str | Path) -> None:
@@ -133,5 +216,17 @@ def save_bst_result(result: BSTResult, path: str | Path) -> None:
 
 
 def load_bst_result(path: str | Path) -> BSTResult:
-    """Read a BST fit back from :func:`save_bst_result` output."""
-    return bst_result_from_dict(json.loads(Path(path).read_text()))
+    """Read a BST fit back from :func:`save_bst_result` output.
+
+    Raises ``ValueError`` on empty/truncated files, corrupt JSON, and
+    unknown schema versions (see :func:`bst_result_from_dict`).
+    """
+    path = Path(path)
+    text = path.read_text()
+    if not text.strip():
+        raise ValueError(f"truncated BST fit file {path}: empty")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"corrupt BST fit file {path}: {exc}") from exc
+    return bst_result_from_dict(data)

@@ -78,6 +78,9 @@ def contextualize(
     download_column: str = "download_mbps",
     upload_column: str = "upload_mbps",
     jobs: int | None = None,
+    bst_result: BSTResult | None = None,
+    registry=None,
+    city: str | None = None,
 ) -> ContextualizedDataset:
     """Fit BST over ``table`` and attach subscription-tier context columns.
 
@@ -87,6 +90,17 @@ def contextualize(
     ``jobs`` fans the per-upload-group download fits out over a process
     pool (``1`` serial, ``0`` all CPUs); parallel output is identical to
     serial (see docs/PERFORMANCE.md).
+
+    Two ways to skip the fit (see docs/SERVING.md):
+
+    - ``bst_result`` -- apply a pre-fitted model: tiers come from the
+      frozen fit's predictors (:class:`repro.serve.engine.TierAssigner`),
+      byte-identical to fit-time labels on the training sample.  The
+      result's catalog must equal ``catalog``.
+    - ``registry`` -- a :class:`repro.serve.registry.ModelRegistry`:
+      look up the model for ``(city, catalog, config)``; on a hit,
+      apply it; on a miss, fit and register the new model.  ``city``
+      defaults to the catalog's ISP name.
     """
     downloads = np.asarray(table[download_column], dtype=float)
     uploads = np.asarray(table[upload_column], dtype=float)
@@ -102,6 +116,14 @@ def contextualize(
         )
     if not finite.any():
         raise ValueError("no finite (download, upload) pairs to contextualize")
+    if bst_result is not None and registry is not None:
+        raise ValueError("pass bst_result or registry, not both")
+    if bst_result is not None and bst_result.catalog != catalog:
+        raise ValueError(
+            "pre-fitted BST result was fitted against a different plan "
+            f"catalog ({bst_result.catalog.isp_name!r}, not "
+            f"{catalog.isp_name!r})"
+        )
     with span(
         "contextualize",
         isp=catalog.isp_name,
@@ -112,8 +134,21 @@ def contextualize(
         downloads = downloads[finite]
         uploads = uploads[finite]
 
-        model = BSTModel(catalog, config)
-        result = model.fit(downloads, uploads, jobs=jobs)
+        if registry is not None:
+            bst_result = _from_registry(
+                registry, catalog, config, city, downloads, uploads, jobs
+            )
+        if bst_result is not None:
+            # Reuse path: predict under the frozen fit, no refit.
+            from repro.serve.engine import TierAssigner
+
+            with span("contextualize.apply", n=int(downloads.size)):
+                result = TierAssigner(bst_result).to_result(
+                    downloads, uploads
+                )
+        else:
+            model = BSTModel(catalog, config)
+            result = model.fit(downloads, uploads, jobs=jobs)
 
         with span("contextualize.augment", n=int(len(clean))):
             plan_down = result.plan_download_for_rows()
@@ -149,3 +184,29 @@ def contextualize(
     return ContextualizedDataset(
         table=augmented, bst_result=result, catalog=catalog
     )
+
+
+def _from_registry(
+    registry,
+    catalog: PlanCatalog,
+    config: BSTConfig | None,
+    city: str | None,
+    downloads: np.ndarray,
+    uploads: np.ndarray,
+    jobs: int | None,
+) -> BSTResult:
+    """Load the registered model for this (city, catalog, config), or
+    fit and register one from the data at hand."""
+    key = registry.key_for(city or catalog.isp_name, catalog, config)
+    if registry.lookup(key) is not None:
+        obs_metrics.counter("contextualize.registry_hits").inc()
+        result, _ = registry.load(key)
+        return result
+    obs_metrics.counter("contextualize.registry_misses").inc()
+    log.info(
+        "no registered model; fitting and registering",
+        extra=kv(key=key.slug, n=int(downloads.size)),
+    )
+    result = BSTModel(catalog, config).fit(downloads, uploads, jobs=jobs)
+    registry.register(key, result, downloads=downloads, uploads=uploads)
+    return result

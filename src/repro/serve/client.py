@@ -1,0 +1,111 @@
+"""Stdlib client for the tier-assignment service.
+
+A small ``urllib``-based wrapper over the HTTP API in
+:mod:`repro.serve.server` -- no third-party HTTP library.  Non-2xx
+responses raise :class:`ServeError` carrying the HTTP status and the
+server's ``error`` message, so callers can distinguish a bad request
+(400) from a missing model (404).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Sequence
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the assignment service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServeClient:
+    """Client for one assignment-service endpoint.
+
+    >>> client = ServeClient("http://127.0.0.1:8731")  # doctest: +SKIP
+    >>> client.assign([110.0], [5.5])["tiers"]         # doctest: +SKIP
+    [0]
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    # ------------------------------------------------------------------
+    def assign(
+        self,
+        downloads: Sequence[float],
+        uploads: Sequence[float],
+        city: str | None = None,
+        isp: str | None = None,
+        config_hash: str | None = None,
+        stream: bool = False,
+    ) -> dict[str, Any]:
+        """POST ``/assign``; returns the decoded response payload."""
+        payload: dict[str, Any] = {
+            "downloads": list(downloads),
+            "uploads": list(uploads),
+        }
+        if city is not None:
+            payload["city"] = city
+        if isp is not None:
+            payload["isp"] = isp
+        if config_hash is not None:
+            payload["config_hash"] = config_hash
+        if stream:
+            payload["stream"] = True
+        return self._request("POST", "/assign", payload)
+
+    def assign_one(
+        self,
+        download: float,
+        upload: float,
+        **selectors: Any,
+    ) -> tuple[int, str]:
+        """Assign one tuple; returns ``(tier, group_label)``."""
+        out = self.assign([download], [upload], stream=True, **selectors)
+        return int(out["tiers"][0]), str(out["group_labels"][0])
+
+    def models(self) -> list[dict[str, Any]]:
+        """GET ``/models``; returns the registry records."""
+        return self._request("GET", "/models")["models"]
+
+    def healthz(self) -> dict[str, Any]:
+        """GET ``/healthz``; returns the health document."""
+        return self._request("GET", "/healthz")
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: dict | None = None
+    ) -> Any:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            data = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            url, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout_s
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            try:
+                message = json.loads(exc.read().decode("utf-8")).get(
+                    "error", exc.reason
+                )
+            except Exception:
+                message = str(exc.reason)
+            raise ServeError(exc.code, message) from exc
+        except urllib.error.URLError as exc:
+            raise ServeError(0, f"cannot reach {url}: {exc.reason}") from exc

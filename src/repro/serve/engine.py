@@ -1,0 +1,431 @@
+"""Online tier assignment against a fitted BST model.
+
+The fit pipeline (:meth:`repro.core.bst.BSTModel.fit`) labels the
+*training* sample; serving needs the inverse direction -- take an
+already-fitted :class:`~repro.core.bst.BSTResult` and assign tiers to
+measurements that arrive later, without refitting.  Two layers:
+
+- :class:`TierAssigner` -- vectorised batch (and single-tuple)
+  assignment.  It rebuilds the exact fit-time predictors from the
+  stage parameters the fit recorded (GMM posterior argmax, or nearest
+  k-means center), so applying an assigner to the data the model was
+  trained on reproduces ``result.tiers`` byte-for-byte.
+- :class:`MicroBatcher` -- a bounded micro-batching queue for streaming
+  input: concurrent single-tuple submissions coalesce into one
+  vectorised ``assign`` call per flush (configurable flush size and
+  interval); a full queue blocks producers (backpressure) instead of
+  growing without bound.
+
+Upload groups that had no download-stage fit (no training measurement
+landed in them) fall back to the log-nearest advertised download among
+the group's plans; the ``serve.fallback_assigned`` counter tracks how
+often serving leaves the fitted region.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.bst import BSTResult
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger, kv
+from repro.obs.quality import get_quality
+from repro.obs.trace import span
+from repro.stats.gmm import GaussianMixture, GMMFitResult
+from repro.stats.kmeans import KMeans1D, KMeansResult
+
+log = get_logger("serve.engine")
+
+__all__ = ["AssignmentBatch", "MicroBatcher", "TierAssigner"]
+
+
+@dataclass
+class AssignmentBatch:
+    """Outcome of one vectorised assignment call."""
+
+    tiers: np.ndarray  # per measurement, assigned plan tier
+    group_indices: np.ndarray  # per measurement, upload-group index
+    n_fallback: int  # rows assigned via the no-stage fallback
+
+    def __len__(self) -> int:
+        return len(self.tiers)
+
+
+def _mixture_predictor(
+    means: np.ndarray,
+    variances: np.ndarray,
+    weights: np.ndarray,
+    clustering: str,
+    stage: str,
+) -> Callable[[np.ndarray], np.ndarray]:
+    """The exact fit-time label predictor for one stage.
+
+    Reuses the estimators' own ``predict`` implementations (not a
+    reimplementation) so labels match what ``BSTModel.fit`` produced --
+    including tie-breaking -- bit for bit.
+    """
+    means = np.asarray(means, dtype=float)
+    if means.size == 0:
+        raise ValueError(
+            f"BST fit has no {stage} component means; cannot build a "
+            "predictor"
+        )
+    if clustering == "kmeans":
+        km = KMeans1D(means.size)
+        km.result_ = KMeansResult(
+            centers=means, inertia=0.0, n_iter=0, converged=True
+        )
+        return km.predict
+    variances = np.asarray(variances, dtype=float)
+    weights = np.asarray(weights, dtype=float)
+    if variances.size != means.size or weights.size != means.size:
+        raise ValueError(
+            f"BST fit lacks {stage} mixture variances/weights (saved "
+            "with schema_version 1?); refit the model to serve new data"
+        )
+    gmm = GaussianMixture(means.size)
+    gmm.result_ = GMMFitResult(
+        means=means,
+        variances=variances,
+        weights=weights,
+        log_likelihood=0.0,
+        n_iter=0,
+        converged=True,
+    )
+    return gmm.predict
+
+
+class TierAssigner:
+    """Vectorised tier assignment against a frozen BST fit.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.bst import BSTModel
+    >>> from repro.market.isps import city_catalog
+    >>> rng = np.random.default_rng(0)
+    >>> ups = np.concatenate([rng.normal(5.5, .4, 400), rng.normal(40, 2, 400)])
+    >>> downs = np.concatenate([rng.normal(110, 9, 400), rng.normal(900, 60, 400)])
+    >>> result = BSTModel(city_catalog("A")).fit(downs, ups)
+    >>> assigner = TierAssigner(result)
+    >>> batch = assigner.assign(downs, ups)
+    >>> bool(np.array_equal(batch.tiers, result.tiers))
+    True
+    """
+
+    def __init__(self, result: BSTResult):
+        self.result = result
+        self.catalog = result.catalog
+        upload = result.upload_stage
+        if not upload.component_groups:
+            raise ValueError(
+                "BST fit records no upload component-to-group mapping; "
+                "refit the model to serve new data"
+            )
+        self._upload_predict = _mixture_predictor(
+            upload.component_means,
+            upload.component_variances,
+            upload.component_weights,
+            upload.clustering,
+            "upload-stage",
+        )
+        self._component_groups = np.asarray(
+            upload.component_groups, dtype=np.int64
+        )
+        self._download_predict: dict[
+            int, Callable[[np.ndarray], np.ndarray]
+        ] = {}
+        self._download_tiers: dict[int, np.ndarray] = {}
+        for gi, stage in result.download_stages.items():
+            self._download_predict[gi] = _mixture_predictor(
+                stage.cluster_means,
+                stage.cluster_variances,
+                stage.cluster_weights,
+                stage.clustering,
+                f"download-stage (group {gi})",
+            )
+            self._download_tiers[gi] = np.asarray(
+                stage.cluster_tiers, dtype=np.int64
+            )
+        # Fallback for groups with no fitted download stage: the
+        # log-nearest advertised download among the group's plans.
+        self._fallback_log_downloads: dict[int, np.ndarray] = {}
+        self._fallback_tiers: dict[int, np.ndarray] = {}
+        for gi, group in enumerate(upload.groups):
+            self._fallback_log_downloads[gi] = np.log(
+                np.asarray([p.download_mbps for p in group.plans])
+            )
+            self._fallback_tiers[gi] = np.asarray(
+                [p.tier for p in group.plans], dtype=np.int64
+            )
+
+    # ------------------------------------------------------------------
+    def assign(self, downloads, uploads) -> AssignmentBatch:
+        """Assign a batch of ``<download, upload>`` tuples to plan tiers.
+
+        Inputs must be finite and pair one-to-one, exactly like
+        :meth:`BSTModel.fit` requires.  On the model's own training
+        sample the returned tiers equal ``result.tiers`` byte-for-byte.
+        """
+        downloads = np.asarray(downloads, dtype=float)
+        uploads = np.asarray(uploads, dtype=float)
+        if downloads.shape != uploads.shape:
+            raise ValueError("downloads and uploads must pair one-to-one")
+        if downloads.ndim != 1:
+            downloads = downloads.ravel()
+            uploads = uploads.ravel()
+        if downloads.size == 0:
+            raise ValueError("empty assignment batch")
+        finite = np.isfinite(downloads) & np.isfinite(uploads)
+        if not finite.all():
+            bad = int(downloads.size - finite.sum())
+            raise ValueError(
+                f"assignment input must be finite ({bad} of "
+                f"{downloads.size} tuples are NaN/inf)"
+            )
+        with span(
+            "serve.assign",
+            isp=self.catalog.isp_name,
+            n=int(downloads.size),
+        ) as sp:
+            labels = self._upload_predict(uploads)
+            group_indices = self._component_groups[labels]
+            tiers = np.zeros(downloads.size, dtype=np.int64)
+            n_fallback = 0
+            for gi in np.unique(group_indices):
+                gi = int(gi)
+                rows = np.flatnonzero(group_indices == gi)
+                predict = self._download_predict.get(gi)
+                if predict is None:
+                    tiers[rows] = self._fallback_assign(gi, downloads[rows])
+                    n_fallback += rows.size
+                else:
+                    tiers[rows] = self._download_tiers[gi][
+                        predict(downloads[rows])
+                    ]
+            sp.set(n_fallback=n_fallback)
+        obs_metrics.counter("serve.assigned").inc(int(downloads.size))
+        if n_fallback:
+            obs_metrics.counter("serve.fallback_assigned").inc(n_fallback)
+            log.debug(
+                "assigned rows in upload groups with no fitted "
+                "download stage",
+                extra=kv(n_fallback=n_fallback, n=int(downloads.size)),
+            )
+        quality = get_quality()
+        if quality.enabled:
+            quality.observe_assignments(tiers)
+        return AssignmentBatch(
+            tiers=tiers,
+            group_indices=group_indices,
+            n_fallback=n_fallback,
+        )
+
+    def _fallback_assign(self, gi: int, downloads: np.ndarray) -> np.ndarray:
+        log_plans = self._fallback_log_downloads[gi]
+        log_downloads = np.log(np.maximum(downloads, 1e-6))
+        nearest = np.argmin(
+            np.abs(log_downloads[:, None] - log_plans[None, :]), axis=1
+        )
+        return self._fallback_tiers[gi][nearest]
+
+    def assign_one(self, download: float, upload: float) -> tuple[int, int]:
+        """Assign one tuple; returns ``(tier, group_index)``."""
+        batch = self.assign([download], [upload])
+        return int(batch.tiers[0]), int(batch.group_indices[0])
+
+    def to_result(self, downloads, uploads) -> BSTResult:
+        """A :class:`BSTResult` for new data under this frozen fit.
+
+        Shares the stage fits (cluster means/weights/diagnostics) with
+        the training result; only ``group_indices``/``tiers`` describe
+        the new rows.  This is what the ``contextualize`` reuse path
+        attaches to its :class:`ContextualizedDataset`.
+        """
+        batch = self.assign(downloads, uploads)
+        return BSTResult(
+            catalog=self.catalog,
+            upload_stage=self.result.upload_stage,
+            download_stages=self.result.download_stages,
+            group_indices=batch.group_indices,
+            tiers=batch.tiers,
+        )
+
+    def group_labels(self, group_indices: np.ndarray) -> list[str]:
+        """Paper-style span labels for a batch's group indices."""
+        labels = [g.tier_label for g in self.result.upload_stage.groups]
+        return [labels[int(i)] for i in group_indices]
+
+
+# ---------------------------------------------------------------------------
+# Micro-batching for streaming input
+# ---------------------------------------------------------------------------
+_SENTINEL = object()
+
+
+class MicroBatcher:
+    """Bounded micro-batching queue in front of a :class:`TierAssigner`.
+
+    Producers call :meth:`submit` (or the blocking :meth:`assign_one`);
+    a single worker thread drains the queue and flushes one vectorised
+    ``assign`` per batch -- when ``max_batch`` tuples are pending, or
+    ``flush_interval_s`` after the first pending tuple, whichever comes
+    first.  The queue holds at most ``max_pending`` tuples; a full queue
+    blocks ``submit`` (backpressure) rather than buffering unboundedly.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> from repro.core.bst import BSTModel
+    >>> from repro.market.isps import city_catalog
+    >>> rng = np.random.default_rng(0)
+    >>> ups = np.concatenate([rng.normal(5.5, .4, 400), rng.normal(40, 2, 400)])
+    >>> downs = np.concatenate([rng.normal(110, 9, 400), rng.normal(900, 60, 400)])
+    >>> assigner = TierAssigner(BSTModel(city_catalog("A")).fit(downs, ups))
+    >>> batcher = MicroBatcher(assigner)
+    >>> tier, group = batcher.assign_one(110.0, 5.5)
+    >>> batcher.close()
+    >>> (tier, group) == assigner.assign_one(110.0, 5.5)
+    True
+    """
+
+    def __init__(
+        self,
+        assigner: TierAssigner,
+        max_batch: int = 256,
+        flush_interval_s: float = 0.005,
+        max_pending: int = 4096,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_pending < max_batch:
+            raise ValueError("max_pending must be >= max_batch")
+        self.assigner = assigner
+        self.max_batch = int(max_batch)
+        self.flush_interval_s = float(flush_interval_s)
+        self._queue: queue.Queue = queue.Queue(maxsize=int(max_pending))
+        self._closed = threading.Event()
+        self._worker = threading.Thread(
+            target=self._run, name="serve-microbatch", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        download: float,
+        upload: float,
+        timeout_s: float | None = None,
+    ) -> Future:
+        """Enqueue one tuple; resolves to ``(tier, group_index)``.
+
+        Blocks while the queue is full (bounded buffering); raises
+        ``queue.Full`` when ``timeout_s`` elapses first, and
+        ``RuntimeError`` after :meth:`close`.
+        """
+        if self._closed.is_set():
+            raise RuntimeError("MicroBatcher is closed")
+        fut: Future = Future()
+        self._queue.put(
+            (float(download), float(upload), fut),
+            timeout=timeout_s,
+        )
+        return fut
+
+    def assign_one(
+        self,
+        download: float,
+        upload: float,
+        timeout_s: float = 30.0,
+    ) -> tuple[int, int]:
+        """Submit one tuple and wait for its ``(tier, group_index)``."""
+        return self.submit(download, upload, timeout_s=timeout_s).result(
+            timeout=timeout_s
+        )
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Stop accepting work, drain pending tuples, join the worker."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        self._queue.put(_SENTINEL)
+        self._worker.join(timeout=timeout_s)
+
+    def __enter__(self) -> "MicroBatcher":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        pending: list[tuple[float, float, Future]] = []
+        deadline = 0.0
+        stop = False
+        while not stop:
+            if pending:
+                wait = max(deadline - time.monotonic(), 0.0)
+            else:
+                wait = None  # idle: block until work arrives
+            try:
+                item = self._queue.get(timeout=wait)
+            except queue.Empty:
+                item = None
+            if item is _SENTINEL:
+                stop = True
+                # Drain whatever was enqueued before the sentinel.
+                while True:
+                    try:
+                        extra = self._queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if extra is not _SENTINEL:
+                        pending.append(extra)
+            elif item is not None:
+                if not pending:
+                    deadline = time.monotonic() + self.flush_interval_s
+                pending.append(item)
+            flush_due = pending and (
+                len(pending) >= self.max_batch
+                or time.monotonic() >= deadline
+            )
+            if flush_due and not stop:
+                batch, pending = (
+                    pending[: self.max_batch],
+                    pending[self.max_batch:],
+                )
+                self._flush(batch)
+                if pending:
+                    deadline = time.monotonic()  # flush backlog promptly
+        # Closing: flush everything still pending, in batch-sized chunks.
+        while pending:
+            batch, pending = (
+                pending[: self.max_batch],
+                pending[self.max_batch:],
+            )
+            self._flush(batch)
+
+    def _flush(self, batch: Sequence[tuple[float, float, Future]]) -> None:
+        downloads = np.asarray([item[0] for item in batch])
+        uploads = np.asarray([item[1] for item in batch])
+        obs_metrics.counter("serve.batch_flushes").inc()
+        obs_metrics.histogram("serve.batch_size").observe(len(batch))
+        try:
+            result = self.assigner.assign(downloads, uploads)
+        except Exception as exc:  # propagate to every waiter
+            for _, _, fut in batch:
+                if not fut.cancelled():
+                    fut.set_exception(exc)
+            return
+        for i, (_, _, fut) in enumerate(batch):
+            if not fut.cancelled():
+                fut.set_result(
+                    (int(result.tiers[i]), int(result.group_indices[i]))
+                )

@@ -1,0 +1,472 @@
+"""Stdlib HTTP service for online tier assignment.
+
+A thin serving layer over :mod:`repro.serve.registry` and
+:mod:`repro.serve.engine`: a ``ThreadingHTTPServer`` (no third-party web
+framework) exposing
+
+- ``POST /assign`` -- assign tiers to a batch of ``<download, upload>``
+  tuples against a registered model (selected by city / isp /
+  config_hash; defaults to the configured city's most recent model);
+- ``GET /models``  -- the registry's records (staleness metadata
+  included);
+- ``GET /healthz`` -- liveness plus request counters, loaded-model
+  count, and per-model drift status.
+
+Every request runs under a ``serve.request`` span and feeds the
+``serve.requests`` / ``serve.errors`` counters and the
+``serve.request_latency_s`` histogram.  Incoming tuples also stream
+into a dedicated :class:`~repro.obs.quality.QualityMonitor`; the drift
+check compares each model's observed download/upload means against the
+``training_stats`` recorded at registration and flags models whose
+traffic has moved more than ``drift_rel_threshold`` (relative) after
+``drift_min_samples`` observations.
+
+Shutdown is graceful: ``serve_until_shutdown`` installs
+SIGTERM/SIGINT handlers that stop the accept loop, then drains
+in-flight handler threads (``daemon_threads`` stays off and
+``server_close`` joins them) and closes the micro-batchers, so a
+terminated server never drops an accepted request.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.logging import get_logger, kv
+from repro.obs.quality import QualityMonitor
+from repro.obs.trace import span
+from repro.serve.engine import MicroBatcher, TierAssigner
+from repro.serve.registry import ModelKey, ModelRecord, ModelRegistry
+
+log = get_logger("serve.server")
+
+__all__ = [
+    "AssignmentService",
+    "ServeConfig",
+    "ServeServer",
+    "build_server",
+    "serve_until_shutdown",
+]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the assignment service."""
+
+    host: str = "127.0.0.1"
+    port: int = 8000
+    default_city: str = ""  # model picked when a request names none
+    request_timeout_s: float = 10.0  # per-connection socket timeout
+    max_body_bytes: int = 8 * 1024 * 1024  # request bodies above -> 413
+    drift_rel_threshold: float = 0.5  # |obs - train| / train mean
+    drift_min_samples: int = 200  # observations before drift applies
+    micro_batch: int = 256
+    micro_flush_interval_s: float = 0.005
+    micro_max_pending: int = 4096
+
+
+@dataclass
+class _LoadedModel:
+    """One model resolved for serving: assigner + provenance."""
+
+    key: ModelKey
+    record: ModelRecord
+    assigner: TierAssigner
+    batcher: MicroBatcher | None = None
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
+class AssignmentService:
+    """Model resolution, assignment, and drift tracking for the server.
+
+    Usable without HTTP (the CLI smoke test and the benchmark drive it
+    directly): :meth:`assign_payload` implements the ``/assign``
+    contract over plain dicts.
+    """
+
+    def __init__(self, registry: ModelRegistry, config: ServeConfig):
+        self.registry = registry
+        self.config = config
+        self._lock = threading.Lock()
+        self._loaded: dict[str, _LoadedModel] = {}
+        # Dedicated monitor: the service watches its own traffic even
+        # when global observability is off.
+        self.quality = QualityMonitor()
+        self.started_s = time.time()
+        self.n_requests = 0
+        self.n_errors = 0
+
+    # -- model resolution ------------------------------------------------
+    def resolve(
+        self,
+        city: str | None = None,
+        isp: str | None = None,
+        config_hash: str | None = None,
+    ) -> _LoadedModel:
+        """The loaded model matching the given selectors.
+
+        Missing selectors match anything; ties resolve to the most
+        recently registered record.  Raises ``KeyError`` when nothing
+        matches.
+        """
+        city = city or self.config.default_city or None
+        candidates = [
+            record
+            for record in self.registry.records()
+            if (city is None or record.key.city == city)
+            and (isp is None or record.key.isp == isp)
+            and (config_hash is None or record.key.config_hash == config_hash)
+        ]
+        if not candidates:
+            raise KeyError(
+                "no registered model matches "
+                f"city={city!r} isp={isp!r} config_hash={config_hash!r}"
+            )
+        record = max(candidates, key=lambda r: r.created_s)
+        return self._load(record.key)
+
+    def _load(self, key: ModelKey) -> _LoadedModel:
+        with self._lock:
+            loaded = self._loaded.get(key.slug)
+        if loaded is not None:
+            return loaded
+        result, record = self.registry.load(key)
+        loaded = _LoadedModel(
+            key=key, record=record, assigner=TierAssigner(result)
+        )
+        with self._lock:
+            # Another thread may have raced us; keep the first.
+            loaded = self._loaded.setdefault(key.slug, loaded)
+        obs_metrics.gauge("serve.models_loaded").set(len(self._loaded))
+        return loaded
+
+    def batcher_for(self, loaded: _LoadedModel) -> MicroBatcher:
+        """The model's micro-batcher (created on first streaming use)."""
+        with loaded.lock:
+            if loaded.batcher is None:
+                loaded.batcher = MicroBatcher(
+                    loaded.assigner,
+                    max_batch=self.config.micro_batch,
+                    flush_interval_s=self.config.micro_flush_interval_s,
+                    max_pending=self.config.micro_max_pending,
+                )
+            return loaded.batcher
+
+    # -- assignment ------------------------------------------------------
+    def assign_payload(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Implement the ``/assign`` contract over plain dicts.
+
+        Payload: ``{"downloads": [...], "uploads": [...]}`` plus
+        optional ``city`` / ``isp`` / ``config_hash`` selectors and
+        ``"stream": true`` to route single tuples through the
+        micro-batching queue.  Raises ``ValueError`` for malformed
+        payloads and ``KeyError`` when no model matches.
+        """
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        downloads = payload.get("downloads")
+        uploads = payload.get("uploads")
+        if downloads is None or uploads is None:
+            raise ValueError(
+                "request must carry 'downloads' and 'uploads' arrays"
+            )
+        try:
+            downloads = np.asarray(downloads, dtype=float)
+            uploads = np.asarray(uploads, dtype=float)
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"non-numeric speed values: {exc}") from exc
+        loaded = self.resolve(
+            city=payload.get("city"),
+            isp=payload.get("isp"),
+            config_hash=payload.get("config_hash"),
+        )
+        self._observe(loaded, downloads, uploads)
+        if payload.get("stream") and downloads.size == 1:
+            tier, group = self.batcher_for(loaded).assign_one(
+                float(downloads[0]), float(uploads[0])
+            )
+            tiers = [tier]
+            groups = [group]
+            n_fallback = 0
+        else:
+            batch = loaded.assigner.assign(downloads, uploads)
+            tiers = batch.tiers.tolist()
+            groups = batch.group_indices.tolist()
+            n_fallback = batch.n_fallback
+        return {
+            "tiers": tiers,
+            "group_indices": groups,
+            "group_labels": loaded.assigner.group_labels(groups),
+            "n_fallback": n_fallback,
+            "model": {
+                "city": loaded.key.city,
+                "isp": loaded.key.isp,
+                "config_hash": loaded.key.config_hash,
+                "digest": loaded.record.digest,
+            },
+        }
+
+    def _observe(
+        self,
+        loaded: _LoadedModel,
+        downloads: np.ndarray,
+        uploads: np.ndarray,
+    ) -> None:
+        slug = loaded.key.slug
+        self.quality.field(f"serve.{slug}.download_mbps").observe_array(
+            downloads
+        )
+        self.quality.field(f"serve.{slug}.upload_mbps").observe_array(
+            uploads
+        )
+
+    # -- drift -----------------------------------------------------------
+    def drift_status(self) -> list[dict[str, Any]]:
+        """Per-loaded-model drift verdicts against training_stats."""
+        with self._lock:
+            loaded = list(self._loaded.values())
+        out = []
+        for model in loaded:
+            directions = {}
+            drifted = False
+            for direction in ("download_mbps", "upload_mbps"):
+                train = model.record.training_stats.get(direction)
+                if not train or not train.get("mean"):
+                    continue
+                snap = self.quality.field(
+                    f"serve.{model.key.slug}.{direction}"
+                ).snapshot()
+                n_obs = snap.count - snap.n_nan
+                if n_obs < self.config.drift_min_samples:
+                    directions[direction] = {
+                        "status": "warming_up",
+                        "n_observed": n_obs,
+                    }
+                    continue
+                rel = abs(snap.mean - train["mean"]) / abs(train["mean"])
+                direction_drifted = rel > self.config.drift_rel_threshold
+                drifted = drifted or direction_drifted
+                directions[direction] = {
+                    "status": "drifted" if direction_drifted else "ok",
+                    "n_observed": n_obs,
+                    "observed_mean": snap.mean,
+                    "training_mean": train["mean"],
+                    "rel_deviation": rel,
+                }
+            if drifted:
+                obs_metrics.counter("serve.drift_flags").inc()
+                log.warning(
+                    "serving traffic drifted from training distribution",
+                    extra=kv(model=model.key.slug),
+                )
+            out.append(
+                {
+                    "model": model.key.slug,
+                    "drifted": drifted,
+                    "directions": directions,
+                }
+            )
+        return out
+
+    # -- health / lifecycle ----------------------------------------------
+    def health(self) -> dict[str, Any]:
+        with self._lock:
+            n_loaded = len(self._loaded)
+        return {
+            "status": "ok",
+            "uptime_s": round(time.time() - self.started_s, 3),
+            "models_registered": len(self.registry.records()),
+            "models_loaded": n_loaded,
+            "requests": self.n_requests,
+            "errors": self.n_errors,
+            "drift": self.drift_status(),
+        }
+
+    def models(self) -> list[dict[str, Any]]:
+        now = time.time()
+        return [
+            {**record.to_dict(), "age_s": round(record.age_s(now), 3)}
+            for record in self.registry.records()
+        ]
+
+    def close(self) -> None:
+        """Drain and stop every model's micro-batcher."""
+        with self._lock:
+            loaded = list(self._loaded.values())
+        for model in loaded:
+            with model.lock:
+                if model.batcher is not None:
+                    model.batcher.close()
+                    model.batcher = None
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request routing for :class:`ServeServer`."""
+
+    protocol_version = "HTTP/1.1"
+    server: "ServeServer"
+
+    # -- plumbing --------------------------------------------------------
+    def setup(self) -> None:
+        super().setup()
+        # Per-connection socket timeout: a stalled client cannot pin a
+        # handler thread (and block graceful shutdown) forever.
+        self.connection.settimeout(self.server.service.config.request_timeout_s)
+
+    def log_message(self, format: str, *args: Any) -> None:
+        log.debug("http " + format % args)
+
+    def _send_json(self, status: int, payload: dict | list) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self.server.service.n_errors += 1
+        obs_metrics.counter("serve.errors").inc()
+        self._send_json(status, {"error": message})
+
+    # -- routes ----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle(self._route_get)
+
+    def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+        self._handle(self._route_post)
+
+    def _handle(self, route) -> None:
+        service = self.server.service
+        service.n_requests += 1
+        obs_metrics.counter("serve.requests").inc()
+        start = time.perf_counter()
+        try:
+            with span(
+                "serve.request",
+                method=self.command,
+                path=self.path.split("?", 1)[0],
+            ):
+                route()
+        except BrokenPipeError:
+            pass  # client went away; nothing to send
+        except Exception as exc:  # defensive: never kill the thread
+            log.error(
+                "unhandled serving error",
+                extra=kv(path=self.path, error=repr(exc)),
+            )
+            try:
+                self._error(500, f"internal error: {exc}")
+            except Exception:
+                pass
+        finally:
+            obs_metrics.histogram("serve.request_latency_s").observe(
+                time.perf_counter() - start
+            )
+
+    def _route_get(self) -> None:
+        path = self.path.split("?", 1)[0]
+        service = self.server.service
+        if path == "/healthz":
+            self._send_json(200, service.health())
+        elif path == "/models":
+            self._send_json(200, {"models": service.models()})
+        else:
+            self._error(404, f"unknown path {path!r}")
+
+    def _route_post(self) -> None:
+        path = self.path.split("?", 1)[0]
+        service = self.server.service
+        if path != "/assign":
+            self._error(404, f"unknown path {path!r}")
+            return
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            self._error(400, "missing request body")
+            return
+        if length > service.config.max_body_bytes:
+            self._error(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{service.config.max_body_bytes}-byte limit",
+            )
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            self._error(400, f"invalid JSON body: {exc}")
+            return
+        try:
+            response = service.assign_payload(payload)
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        except KeyError as exc:
+            self._error(404, str(exc).strip("'\""))
+            return
+        self._send_json(200, response)
+
+
+class ServeServer(ThreadingHTTPServer):
+    """Threading HTTP server bound to one :class:`AssignmentService`.
+
+    ``daemon_threads`` stays False and ``block_on_close`` True so
+    ``server_close`` joins in-flight handler threads -- shutdown drains
+    accepted requests instead of abandoning them.
+    """
+
+    daemon_threads = False
+    block_on_close = True
+    allow_reuse_address = True
+
+    def __init__(self, address: tuple[str, int], service: AssignmentService):
+        self.service = service
+        super().__init__(address, _Handler)
+
+    def server_close(self) -> None:
+        super().server_close()  # joins handler threads first
+        self.service.close()
+
+
+def build_server(
+    registry: ModelRegistry, config: ServeConfig | None = None
+) -> ServeServer:
+    """A ready-to-run server (``port=0`` binds an ephemeral port)."""
+    config = config or ServeConfig()
+    service = AssignmentService(registry, config)
+    return ServeServer((config.host, config.port), service)
+
+
+def serve_until_shutdown(server: ServeServer) -> int:
+    """Run the accept loop until SIGTERM/SIGINT; drain, close, return 0.
+
+    Signal handlers hand ``shutdown()`` to a helper thread (calling it
+    from the loop's own thread deadlocks), then ``server_close`` joins
+    in-flight handlers and stops the micro-batchers.
+    """
+    host, port = server.server_address[:2]
+    log.info("serving", extra=kv(host=host, port=port))
+
+    def _stop(signum, frame) -> None:
+        log.info("shutdown requested", extra=kv(signal=signum))
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        previous[sig] = signal.signal(sig, _stop)
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.server_close()
+    return 0

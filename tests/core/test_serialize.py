@@ -4,7 +4,9 @@ import numpy as np
 import pytest
 
 from repro.core.bst import BSTModel
+from repro.core.config import BSTConfig
 from repro.core.serialize import (
+    SCHEMA_VERSION,
     bst_result_from_dict,
     bst_result_to_dict,
     catalog_from_dict,
@@ -68,3 +70,131 @@ def test_file_round_trip(tmp_path, fitted):
     save_bst_result(fitted, path)
     restored = load_bst_result(path)
     assert np.array_equal(restored.tiers, fitted.tiers)
+
+
+# ---------------------------------------------------------------------------
+# schema versioning and corruption handling
+# ---------------------------------------------------------------------------
+def test_payloads_carry_schema_version(fitted):
+    assert catalog_to_dict(fitted.catalog)["schema_version"] == SCHEMA_VERSION
+    assert bst_result_to_dict(fitted)["schema_version"] == SCHEMA_VERSION
+
+
+@pytest.mark.parametrize("version", [3, 99, "2", 2.0, True, None])
+def test_unknown_schema_version_raises_value_error(fitted, version):
+    data = bst_result_to_dict(fitted)
+    data["schema_version"] = version
+    with pytest.raises(ValueError, match="schema_version"):
+        bst_result_from_dict(data)
+
+
+def test_unknown_catalog_schema_version_raises(fitted):
+    data = catalog_to_dict(fitted.catalog)
+    data["schema_version"] = 42
+    with pytest.raises(ValueError, match="schema_version"):
+        catalog_from_dict(data)
+
+
+def test_missing_version_field_is_legacy_v1(fitted):
+    data = bst_result_to_dict(fitted)
+    del data["schema_version"]
+    del data["catalog"]["schema_version"]
+    restored = bst_result_from_dict(data)
+    assert np.array_equal(restored.tiers, fitted.tiers)
+
+
+@pytest.mark.parametrize(
+    "missing", ["catalog", "upload_stage", "download_stages", "tiers"]
+)
+def test_truncated_payload_raises_value_error(fitted, missing):
+    data = bst_result_to_dict(fitted)
+    del data[missing]
+    with pytest.raises(ValueError, match="truncated"):
+        bst_result_from_dict(data)
+
+
+def test_truncated_catalog_payload_raises():
+    with pytest.raises(ValueError, match="truncated"):
+        catalog_from_dict({"schema_version": 2, "plans": [{}]})
+
+
+def test_non_mapping_payload_raises():
+    with pytest.raises(ValueError, match="JSON object"):
+        bst_result_from_dict(["not", "a", "dict"])
+
+
+def test_empty_file_raises_value_error(tmp_path):
+    path = tmp_path / "empty.json"
+    path.write_text("")
+    with pytest.raises(ValueError, match="empty"):
+        load_bst_result(path)
+
+
+def test_corrupt_json_file_raises_value_error(tmp_path, fitted):
+    path = tmp_path / "fit.json"
+    save_bst_result(fitted, path)
+    path.write_text(path.read_text()[: 40])  # truncate mid-object
+    with pytest.raises(ValueError, match="corrupt|truncated"):
+        load_bst_result(path)
+
+
+# ---------------------------------------------------------------------------
+# saved models predict on fresh data (the serving contract)
+# ---------------------------------------------------------------------------
+def _fresh_sample(catalog, seed):
+    rng = np.random.default_rng(seed)
+    plans = catalog.plans
+    picks = rng.integers(0, len(plans), 2_000)
+    downs = np.asarray([plans[i].download_mbps for i in picks]) * rng.normal(
+        0.9, 0.08, picks.size
+    )
+    ups = np.asarray([plans[i].upload_mbps for i in picks]) * rng.normal(
+        0.95, 0.05, picks.size
+    )
+    return np.abs(downs) + 0.1, np.abs(ups) + 0.1
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        BSTConfig(),
+        BSTConfig(kde_method="binned"),
+        BSTConfig(jobs=2),
+    ],
+    ids=["default", "kde-binned", "parallel"],
+)
+def test_saved_model_assigns_fresh_data_identically(
+    tmp_path, mba_a, state_catalog_a, config
+):
+    from repro.serve.engine import TierAssigner
+
+    fitted = BSTModel(state_catalog_a, config).fit(
+        mba_a["download_mbps"], mba_a["upload_mbps"]
+    )
+    path = tmp_path / "fit.json"
+    save_bst_result(fitted, path)
+    restored = load_bst_result(path)
+
+    downs, ups = _fresh_sample(state_catalog_a, seed=101)
+    direct = TierAssigner(fitted).assign(downs, ups)
+    loaded = TierAssigner(restored).assign(downs, ups)
+    assert np.array_equal(direct.tiers, loaded.tiers)
+    assert np.array_equal(direct.group_indices, loaded.group_indices)
+    # And on the training sample: byte-identical to the fit.
+    replay = TierAssigner(restored).assign(
+        np.asarray(mba_a["download_mbps"], dtype=float),
+        np.asarray(mba_a["upload_mbps"], dtype=float),
+    )
+    assert np.array_equal(replay.tiers, fitted.tiers)
+
+
+def test_v1_payload_cannot_serve_new_data(fitted):
+    from repro.serve.engine import TierAssigner
+
+    data = bst_result_to_dict(fitted)
+    data["upload_stage"].pop("component_variances")
+    data["upload_stage"].pop("component_weights")
+    data["schema_version"] = 1
+    restored = bst_result_from_dict(data)
+    with pytest.raises(ValueError, match="variances"):
+        TierAssigner(restored)

@@ -99,3 +99,85 @@ class TestEdgeCases:
             table, catalog_a, download_column="down", upload_column="up"
         )
         assert set(ctx.table["bst_tier"].tolist()) <= {1, 2, 3}
+
+
+class TestReusePrefittedModel:
+    """contextualize() with bst_result= / registry= skips the fit."""
+
+    def test_prefitted_result_parity(self, ookla_a, catalog_a, ookla_ctx_a):
+        reused = contextualize(
+            ookla_a, catalog_a, bst_result=ookla_ctx_a.bst_result
+        )
+        for column in CONTEXT_COLUMNS:
+            fresh = np.asarray(ookla_ctx_a.table[column])
+            replay = np.asarray(reused.table[column])
+            if fresh.dtype.kind == "f":
+                assert np.array_equal(fresh, replay, equal_nan=True), column
+            else:
+                assert np.array_equal(fresh, replay), column
+
+    def test_prefitted_result_on_fresh_data(
+        self, ookla_a, catalog_a, ookla_ctx_a
+    ):
+        fresh = ookla_a.head(500)
+        reused = contextualize(
+            fresh, catalog_a, bst_result=ookla_ctx_a.bst_result
+        )
+        assert len(reused) == 500
+        head = np.asarray(ookla_ctx_a.table["bst_tier"])[:500]
+        assert np.array_equal(
+            np.asarray(reused.table["bst_tier"], dtype=int), head
+        )
+
+    def test_catalog_mismatch_rejected(self, ookla_a, ookla_ctx_a):
+        from repro.market.isps import city_catalog
+
+        with pytest.raises(ValueError, match="different plan catalog"):
+            contextualize(
+                ookla_a,
+                city_catalog("B"),
+                bst_result=ookla_ctx_a.bst_result,
+            )
+
+    def test_result_and_registry_mutually_exclusive(
+        self, tmp_path, ookla_a, catalog_a, ookla_ctx_a
+    ):
+        from repro.serve.registry import ModelRegistry
+
+        with pytest.raises(ValueError, match="not both"):
+            contextualize(
+                ookla_a,
+                catalog_a,
+                bst_result=ookla_ctx_a.bst_result,
+                registry=ModelRegistry(tmp_path),
+            )
+
+    def test_registry_miss_fits_and_registers(
+        self, tmp_path, ookla_a, catalog_a
+    ):
+        from repro.serve.registry import ModelRegistry
+
+        registry = ModelRegistry(tmp_path / "models")
+        ctx = contextualize(
+            ookla_a, catalog_a, registry=registry, city="A"
+        )
+        key = registry.key_for("A", catalog_a)
+        record = registry.lookup(key)
+        assert record is not None
+        assert record.train_size == len(ctx)
+        assert "download_mbps" in record.training_stats
+
+    def test_registry_hit_is_byte_identical(
+        self, tmp_path, ookla_a, catalog_a
+    ):
+        from repro.frame import write_csv
+        from repro.serve.registry import ModelRegistry
+
+        registry = ModelRegistry(tmp_path / "models")
+        cold = contextualize(ookla_a, catalog_a, registry=registry, city="A")
+        warm = contextualize(ookla_a, catalog_a, registry=registry, city="A")
+        cold_csv = tmp_path / "cold.csv"
+        warm_csv = tmp_path / "warm.csv"
+        write_csv(cold.table, cold_csv)
+        write_csv(warm.table, warm_csv)
+        assert cold_csv.read_bytes() == warm_csv.read_bytes()

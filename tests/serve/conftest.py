@@ -1,0 +1,34 @@
+"""Shared fixtures for the serving subsystem tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bst import BSTModel
+
+
+@pytest.fixture(scope="package")
+def fitted_a(ookla_a, catalog_a):
+    """A City-A BST fit over the shared Ookla sample."""
+    return BSTModel(catalog_a).fit(
+        np.asarray(ookla_a["download_mbps"], dtype=float),
+        np.asarray(ookla_a["upload_mbps"], dtype=float),
+    )
+
+
+@pytest.fixture
+def fresh_sample(catalog_a):
+    """2k plausible City-A tuples the model never saw."""
+    rng = np.random.default_rng(77)
+    plans = catalog_a.plans
+    picks = rng.integers(0, len(plans), 2_000)
+    downs = np.abs(
+        np.asarray([plans[i].download_mbps for i in picks])
+        * rng.normal(0.9, 0.08, picks.size)
+    ) + 0.1
+    ups = np.abs(
+        np.asarray([plans[i].upload_mbps for i in picks])
+        * rng.normal(0.95, 0.05, picks.size)
+    ) + 0.1
+    return downs, ups

@@ -1,0 +1,159 @@
+"""Tests for the content-addressed model registry."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.config import BSTConfig
+from repro.serve.registry import ModelKey, ModelRecord, ModelRegistry
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "models", cache_size=2)
+
+
+def test_round_trip(registry, fitted_a, catalog_a):
+    key = registry.key_for("A", catalog_a)
+    record = registry.register(key, fitted_a)
+    loaded, loaded_record = registry.load(key)
+    assert np.array_equal(loaded.tiers, fitted_a.tiers)
+    assert loaded_record.digest == record.digest
+    assert loaded_record.train_size == len(fitted_a)
+
+
+def test_key_includes_config_fingerprint(registry, catalog_a):
+    default = registry.key_for("A", catalog_a)
+    binned = registry.key_for("A", catalog_a, BSTConfig(kde_method="binned"))
+    assert default.config_hash != binned.config_hash
+    assert default.slug != binned.slug
+    assert ModelKey.from_slug(default.slug) == default
+
+
+def test_registration_is_content_addressed(registry, fitted_a, catalog_a):
+    key_a = registry.key_for("A", catalog_a)
+    key_b = registry.key_for("B", catalog_a)  # same fit, different city
+    rec_a = registry.register(key_a, fitted_a)
+    rec_b = registry.register(key_b, fitted_a)
+    assert rec_a.digest == rec_b.digest
+    objects = list(registry.objects_dir.glob("*.json"))
+    assert len(objects) == 1  # one object, two index entries
+    assert len(registry.records()) == 2
+
+
+def test_reregistration_updates_record(registry, fitted_a, catalog_a):
+    key = registry.key_for("A", catalog_a)
+    first = registry.register(key, fitted_a)
+    second = registry.register(key, fitted_a)
+    assert second.digest == first.digest
+    assert len(registry.records()) == 1
+    assert second.created_s >= first.created_s
+
+
+def test_lookup_miss_returns_none_load_raises(registry, catalog_a):
+    key = registry.key_for("Z", catalog_a)
+    assert registry.lookup(key) is None
+    with pytest.raises(KeyError, match="no model registered"):
+        registry.load(key)
+
+
+def test_training_stats_recorded(registry, fitted_a, catalog_a, ookla_a):
+    downs = np.asarray(ookla_a["download_mbps"], dtype=float)
+    ups = np.asarray(ookla_a["upload_mbps"], dtype=float)
+    key = registry.key_for("A", catalog_a)
+    record = registry.register(key, fitted_a, downloads=downs, uploads=ups)
+    stats = record.training_stats["download_mbps"]
+    finite = downs[np.isfinite(downs)]
+    assert stats["n"] == finite.size
+    assert stats["mean"] == pytest.approx(finite.mean())
+    assert "p95" in stats
+    assert "upload_mbps" in record.training_stats
+
+
+def test_staleness_metadata(registry, fitted_a, catalog_a):
+    key = registry.key_for("A", catalog_a)
+    record = registry.register(key, fitted_a)
+    assert record.age_s() < 60.0
+    assert not record.is_stale(max_age_s=3600.0)
+    assert record.is_stale(max_age_s=0.0, now=record.created_s + 1.0)
+    assert record.created_utc.endswith("Z")
+
+
+def test_lru_cache_bounded_and_hit(registry, fitted_a, catalog_a):
+    keys = [registry.key_for(city, catalog_a) for city in ("A", "B", "C")]
+    # Same result object -> same digest -> one cache slot for all three.
+    for key in keys:
+        registry.register(key, fitted_a)
+    assert len(registry.cached_digests) == 1
+    registry.evict_cache()
+    assert registry.cached_digests == []
+    loaded, _ = registry.load(keys[0])
+    again, _ = registry.load(keys[0])
+    assert again is loaded  # second load served from cache
+
+
+def test_index_survives_new_registry_instance(
+    tmp_path, fitted_a, catalog_a
+):
+    root = tmp_path / "models"
+    first = ModelRegistry(root)
+    key = first.key_for("A", catalog_a)
+    first.register(key, fitted_a)
+    second = ModelRegistry(root)
+    loaded, record = second.load(key)
+    assert np.array_equal(loaded.tiers, fitted_a.tiers)
+    assert record.key == key
+
+
+def test_corrupt_index_raises_value_error(registry, fitted_a, catalog_a):
+    key = registry.key_for("A", catalog_a)
+    registry.register(key, fitted_a)
+    registry.index_path.write_text("{not json")
+    with pytest.raises(ValueError, match="corrupt registry index"):
+        registry.lookup(key)
+
+
+def test_unknown_index_schema_raises(registry):
+    registry.root.mkdir(parents=True, exist_ok=True)
+    registry.index_path.write_text(
+        json.dumps({"index_schema": 99, "entries": {}})
+    )
+    with pytest.raises(ValueError, match="index schema"):
+        registry.records()
+
+
+def test_missing_object_raises_value_error(registry, fitted_a, catalog_a):
+    key = registry.key_for("A", catalog_a)
+    record = registry.register(key, fitted_a)
+    registry.evict_cache()
+    registry.object_path(record.digest).unlink()
+    with pytest.raises(ValueError, match="missing object"):
+        registry.load(key)
+
+
+def test_corrupt_object_raises_value_error(registry, fitted_a, catalog_a):
+    key = registry.key_for("A", catalog_a)
+    record = registry.register(key, fitted_a)
+    registry.evict_cache()
+    registry.object_path(record.digest).write_text("{truncated")
+    with pytest.raises(ValueError, match="corrupt model object"):
+        registry.load(key)
+
+
+def test_record_round_trips_through_dict(registry, fitted_a, catalog_a):
+    key = registry.key_for("A", catalog_a)
+    record = registry.register(key, fitted_a)
+    assert ModelRecord.from_dict(record.to_dict()) == record
+    with pytest.raises(ValueError, match="truncated model record"):
+        ModelRecord.from_dict({"city": "A"})
+
+
+def test_no_tmp_files_left_behind(registry, fitted_a, catalog_a):
+    registry.register(registry.key_for("A", catalog_a), fitted_a)
+    leftovers = [
+        p for p in registry.root.rglob("*") if ".tmp." in p.name
+    ]
+    assert leftovers == []

@@ -304,3 +304,49 @@ class TestObservabilityFlags:
 def test_no_command_exits():
     with pytest.raises(SystemExit):
         main([])
+
+
+class TestAssign:
+    def test_assign_cold_then_warm(self, tmp_path, ookla_csv, capsys):
+        registry = tmp_path / "models"
+        cold_out = tmp_path / "cold.csv"
+        warm_out = tmp_path / "warm.csv"
+        code = main(
+            [
+                "assign", "--input", str(ookla_csv), "--city", "A",
+                "--registry", str(registry), "--out", str(cold_out),
+            ]
+        )
+        assert code == 0
+        assert "fresh fit (now registered)" in capsys.readouterr().out
+        code = main(
+            [
+                "assign", "--input", str(ookla_csv), "--city", "A",
+                "--registry", str(registry), "--out", str(warm_out),
+            ]
+        )
+        assert code == 0
+        assert "registered model" in capsys.readouterr().out
+        assert cold_out.read_bytes() == warm_out.read_bytes()
+        assert (registry / "index.json").exists()
+
+    def test_assign_output_matches_contextualize(
+        self, tmp_path, ookla_csv, capsys
+    ):
+        ctx_out = tmp_path / "ctx.csv"
+        assign_out = tmp_path / "assign.csv"
+        assert main(
+            [
+                "contextualize", "--input", str(ookla_csv), "--city", "A",
+                "--out", str(ctx_out),
+            ]
+        ) == 0
+        assert main(
+            [
+                "assign", "--input", str(ookla_csv), "--city", "A",
+                "--registry", str(tmp_path / "models"),
+                "--out", str(assign_out),
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert ctx_out.read_bytes() == assign_out.read_bytes()

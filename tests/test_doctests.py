@@ -13,6 +13,7 @@ import repro.frame.table
 import repro.market.plans
 import repro.market.population
 import repro.pipeline.report
+import repro.serve.engine
 import repro.stats.gmm
 import repro.stats.gmm2d
 import repro.stats.kde
@@ -26,6 +27,7 @@ MODULES = [
     repro.market.plans,
     repro.market.population,
     repro.core.bst,
+    repro.serve.engine,
     repro.vendors.ookla,
     repro.pipeline.report,
 ]
