@@ -1,0 +1,39 @@
+"""Static analysis for the reproduction's own invariants (``repro lint``).
+
+A zero-dependency AST lint framework plus a repo-specific rule set:
+determinism (no wall-clock reads or unseeded RNGs in core paths),
+correctness (no mutable default args, no silent broad excepts), and
+observability discipline (span/metric names must match the documented
+inventory), together with a lock-discipline checker for the threaded
+serving and observability subsystems.  See docs/ANALYSIS.md for the
+rule catalog and the baseline workflow.
+"""
+
+from repro.analysis.baseline import Baseline, finding_fingerprint
+from repro.analysis.framework import (
+    AnalysisReport,
+    FileContext,
+    Finding,
+    Rule,
+    analyze,
+    check_source,
+)
+from repro.analysis.registry import catalog, default_rules, register, rules_for
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "AnalysisReport",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "analyze",
+    "catalog",
+    "check_source",
+    "default_rules",
+    "finding_fingerprint",
+    "register",
+    "render_json",
+    "render_text",
+    "rules_for",
+]

@@ -1,0 +1,164 @@
+"""Baseline files: suppress grandfathered findings without editing code.
+
+A baseline is a JSON document mapping finding *fingerprints* to
+entries.  The fingerprint hashes the rule id, the file path, and the
+stripped source line text -- **not** the line number -- so unrelated
+edits that shift code up or down do not invalidate the baseline, while
+any change to the offending line itself resurfaces the finding.
+
+Workflow::
+
+    repro lint --baseline lint-baseline.json --write-baseline  # adopt
+    repro lint --baseline lint-baseline.json                   # gate
+
+``filter`` treats the baseline as a multiset: two identical offending
+lines in one file consume two entries, so deleting one of them and
+adding another elsewhere still fails the gate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.analysis.framework import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "finding_fingerprint"]
+
+BASELINE_SCHEMA = 1
+
+
+def finding_fingerprint(finding: Finding) -> str:
+    """Stable 16-hex-digit identity of one finding (line-number free)."""
+    blob = "|".join(
+        (finding.rule_id, finding.path, finding.snippet)
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    reason: str
+    line: int = 0  # informational only; not part of the identity
+    message: str = ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "rule": self.rule,
+            "path": self.path,
+            "reason": self.reason,
+            "line": self.line,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, row: dict[str, Any]) -> "BaselineEntry":
+        try:
+            return cls(
+                fingerprint=str(row["fingerprint"]),
+                rule=str(row["rule"]),
+                path=str(row["path"]),
+                reason=str(row.get("reason", "")),
+                line=int(row.get("line", 0)),
+                message=str(row.get("message", "")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"malformed baseline entry: {exc}") from exc
+
+
+@dataclass
+class Baseline:
+    """A loaded suppression file."""
+
+    entries: list[BaselineEntry] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline; an absent file is an empty baseline."""
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return cls()
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"corrupt baseline {path}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError(f"corrupt baseline {path}: expected an object")
+        schema = data.get("schema", BASELINE_SCHEMA)
+        if schema != BASELINE_SCHEMA:
+            raise ValueError(
+                f"unknown baseline schema {schema!r} in {path}; "
+                f"this build reads {BASELINE_SCHEMA}"
+            )
+        return cls(
+            entries=[
+                BaselineEntry.from_dict(row)
+                for row in data.get("entries", [])
+            ]
+        )
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "schema": BASELINE_SCHEMA,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(
+                    self.entries, key=lambda e: (e.path, e.rule, e.line)
+                )
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Iterable[Finding],
+        reason: str = "grandfathered",
+    ) -> "Baseline":
+        return cls(
+            entries=[
+                BaselineEntry(
+                    fingerprint=finding_fingerprint(f),
+                    rule=f.rule_id,
+                    path=f.path,
+                    reason=reason,
+                    line=f.line,
+                    message=f.message,
+                )
+                for f in findings
+            ]
+        )
+
+    def filter(
+        self, findings: Iterable[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into ``(new, baselined)`` (multiset semantics)."""
+        budget = Counter(entry.fingerprint for entry in self.entries)
+        new: list[Finding] = []
+        matched: list[Finding] = []
+        for finding in findings:
+            fp = finding_fingerprint(finding)
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+                matched.append(finding)
+            else:
+                new.append(finding)
+        return new, matched

@@ -1,0 +1,417 @@
+"""Lock-discipline checker for the threaded subsystems.
+
+:mod:`repro.serve` and :mod:`repro.obs` share mutable state across
+threads (HTTP handler threads, the micro-batch worker, span/metric
+sinks).  The convention is lock-guarded attributes: state touched under
+``with self._lock:`` must *always* be touched under it.  Two rules
+enforce that statically:
+
+- ``LOCK001`` -- *unguarded shared-state access*.  For every class that
+  owns a ``threading.Lock``/``RLock``, the checker infers the set of
+  protected attributes (attributes written at least once inside a
+  ``with self._lock:`` block outside ``__init__``) and flags every read
+  or write of a protected attribute that runs outside the lock.
+  Private helpers whose every call site holds the lock (for example a
+  ``_cache_put`` called only from guarded regions) are treated as
+  lock-held, so the idiomatic guarded-helper pattern stays clean.
+- ``LOCK002`` -- *inconsistent lock-acquisition order*.  Nested
+  ``with``-lock regions record their (outer, inner) order; if one part
+  of a module acquires ``a`` then ``b`` and another acquires ``b``
+  then ``a``, the second pattern (by first appearance) is flagged --
+  that shape is one unlucky schedule away from deadlock.
+
+The inference is deliberately conservative: ``__init__`` runs before
+the object is published and is exempt; classes without a lock
+attribute are skipped (objects like ``queue.Queue`` synchronise
+themselves); attributes never written under the lock are not treated
+as protected.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import FileContext, Finding, Rule
+from repro.analysis.registry import register
+
+__all__ = ["InconsistentLockOrder", "UnguardedSharedState", "analyze_class"]
+
+LOCK_SCOPES = ("repro.serve", "repro.obs")
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
+                   "BoundedSemaphore"}
+
+# Method calls that mutate their receiver: `self._cache.move_to_end(k)`
+# is a write to `_cache` even though the attribute node's ctx is Load.
+_MUTATORS = {
+    "append", "extend", "insert", "add", "update", "setdefault", "pop",
+    "popitem", "remove", "discard", "clear", "move_to_end", "sort",
+    "reverse", "appendleft", "popleft",
+}
+
+
+def _is_lock_ctor(node: ast.AST) -> bool:
+    """``threading.Lock()`` / ``Lock()`` / ``field(default_factory=...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _LOCK_FACTORIES:
+        return True
+    if isinstance(func, ast.Name):
+        if func.id in _LOCK_FACTORIES:
+            return True
+        if func.id == "field":
+            for kw in node.keywords:
+                if kw.arg == "default_factory" and _is_dotted_lock(kw.value):
+                    return True
+    return False
+
+
+def _is_dotted_lock(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        return node.attr in _LOCK_FACTORIES
+    return isinstance(node, ast.Name) and node.id in _LOCK_FACTORIES
+
+
+@dataclass(frozen=True)
+class _Access:
+    attr: str
+    line: int
+    col: int
+    write: bool
+    guarded: bool
+    method: str
+
+
+@dataclass(frozen=True)
+class _CallSite:
+    callee: str
+    guarded: bool
+    method: str
+
+
+@dataclass
+class ClassLockReport:
+    """What the checker learned about one class."""
+
+    name: str
+    lock_attrs: frozenset[str]
+    protected: frozenset[str]
+    violations: tuple[_Access, ...]
+
+
+def _lock_attrs_of(cls: ast.ClassDef) -> frozenset[str]:
+    attrs: set[str] = set()
+    for node in ast.walk(cls):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and _is_lock_ctor(node.value)
+                ):
+                    attrs.add(target.attr)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            # dataclass-style: `lock: threading.Lock = field(...)`
+            if isinstance(node.target, ast.Name) and _is_lock_ctor(
+                node.value
+            ):
+                attrs.add(node.target.id)
+    return frozenset(attrs)
+
+
+def _methods_of(cls: ast.ClassDef) -> list[ast.FunctionDef]:
+    return [
+        node
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ]
+
+
+def _is_self_lock(node: ast.AST, lock_attrs: frozenset[str]) -> bool:
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in lock_attrs
+    )
+
+
+def _collect(
+    method: ast.FunctionDef,
+    lock_attrs: frozenset[str],
+    method_names: frozenset[str],
+) -> tuple[list[_Access], list[_CallSite]]:
+    """Attribute accesses and self-method call sites, with guardedness."""
+    accesses: list[_Access] = []
+    calls: list[_CallSite] = []
+    call_funcs: set[int] = set()
+    write_ids: set[int] = set()
+
+    def _is_self_attr(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        )
+
+    for node in ast.walk(method):
+        if isinstance(node, ast.Call):
+            call_funcs.add(id(node.func))
+            # Mutating method call on a self attribute.
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATORS
+                and _is_self_attr(func.value)
+            ):
+                write_ids.add(id(func.value))
+        elif isinstance(node, ast.Subscript) and isinstance(
+            node.ctx, (ast.Store, ast.Del)
+        ):
+            # `self._cache[k] = v` / `del self._cache[k]`.
+            if _is_self_attr(node.value):
+                write_ids.add(id(node.value))
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and (
+            node is not method
+        ):
+            return  # nested defs get their own scoping; stay conservative
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner_guarded = guarded or any(
+                _is_self_lock(item.context_expr, lock_attrs)
+                for item in node.items
+            )
+            for item in node.items:
+                visit(item, guarded)
+            for stmt in node.body:
+                visit(stmt, inner_guarded)
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr not in lock_attrs
+        ):
+            if node.attr in method_names:
+                if id(node) in call_funcs:
+                    calls.append(
+                        _CallSite(
+                            callee=node.attr,
+                            guarded=guarded,
+                            method=method.name,
+                        )
+                    )
+            else:
+                accesses.append(
+                    _Access(
+                        attr=node.attr,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        write=(
+                            isinstance(node.ctx, (ast.Store, ast.Del))
+                            or id(node) in write_ids
+                        ),
+                        guarded=guarded,
+                        method=method.name,
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    for stmt in method.body:
+        visit(stmt, False)
+    return accesses, calls
+
+
+def analyze_class(cls: ast.ClassDef) -> "ClassLockReport | None":
+    """Infer protected attributes and unguarded accesses for one class."""
+    lock_attrs = _lock_attrs_of(cls)
+    if not lock_attrs:
+        return None
+    methods = _methods_of(cls)
+    method_names = frozenset(m.name for m in methods)
+    accesses: list[_Access] = []
+    calls: list[_CallSite] = []
+    for method in methods:
+        acc, cal = _collect(method, lock_attrs, method_names)
+        accesses.extend(acc)
+        calls.extend(cal)
+
+    # Private helpers whose every call site holds the lock are lock-held
+    # themselves (fixpoint over helper-calls-helper chains).  __init__
+    # call sites count as guarded: construction precedes publication.
+    sites_by_callee: dict[str, list[_CallSite]] = {}
+    for site in calls:
+        sites_by_callee.setdefault(site.callee, []).append(site)
+    lock_held: set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for name, sites in sites_by_callee.items():
+            if name in lock_held or not name.startswith("_"):
+                continue
+            if name.startswith("__") and name.endswith("__"):
+                continue
+            if all(
+                site.guarded
+                or site.method == "__init__"
+                or site.method in lock_held
+                for site in sites
+            ):
+                lock_held.add(name)
+                changed = True
+
+    def effective(access: _Access) -> bool:
+        return (
+            access.guarded
+            or access.method == "__init__"
+            or access.method in lock_held
+        )
+
+    protected = frozenset(
+        access.attr
+        for access in accesses
+        if access.write and effective(access) and access.method != "__init__"
+    )
+    violations = tuple(
+        access
+        for access in accesses
+        if access.attr in protected
+        and not effective(access)
+        and access.method != "__init__"
+    )
+    return ClassLockReport(
+        name=cls.name,
+        lock_attrs=lock_attrs,
+        protected=protected,
+        violations=violations,
+    )
+
+
+@register
+class UnguardedSharedState(Rule):
+    """LOCK001: lock-protected attributes touched outside the lock."""
+
+    id = "LOCK001"
+    name = "unguarded-shared-state"
+    severity = "error"
+    scopes = LOCK_SCOPES
+    description = (
+        "attribute is written under 'with self._lock:' elsewhere in the "
+        "class but read or written here without holding the lock -- a "
+        "data race under the serving threads"
+    )
+    hint = (
+        "take the lock around this access (or snapshot the value under "
+        "the lock and use the local copy)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            report = analyze_class(node)
+            if report is None:
+                continue
+            seen: set[tuple[str, int, str]] = set()
+            for access in report.violations:
+                kind = "write" if access.write else "read"
+                key = (access.attr, access.line, kind)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.finding(
+                    ctx,
+                    access.line,
+                    f"{report.name}.{access.attr} is lock-protected but "
+                    f"{kind} without the lock in {access.method}()",
+                )
+
+
+def _lock_like(expr: ast.AST) -> "str | None":
+    """The dotted text of a with-item that looks like a lock, else None."""
+    node = expr
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        return None
+    text = ".".join(reversed(parts))
+    return text if "lock" in text.lower() else None
+
+
+def _nested_lock_pairs(
+    tree: ast.Module,
+) -> Iterator[tuple[str, str, int]]:
+    """Every (outer, inner, inner_line) nested lock acquisition."""
+
+    def visit(node: ast.AST, stack: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            names = [
+                name
+                for item in node.items
+                if (name := _lock_like(item.context_expr)) is not None
+            ]
+            inner_stack = stack
+            for name in names:
+                for outer in inner_stack:
+                    if outer != name:
+                        yield_list.append((outer, name, node.lineno))
+                inner_stack = inner_stack + (name,)
+            for stmt in node.body:
+                visit(stmt, inner_stack)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, stack)
+
+    yield_list: list[tuple[str, str, int]] = []
+    visit(tree, ())
+    yield from yield_list
+
+
+@register
+class InconsistentLockOrder(Rule):
+    """LOCK002: the same two locks acquired in both orders."""
+
+    id = "LOCK002"
+    name = "inconsistent-lock-order"
+    severity = "error"
+    scopes = LOCK_SCOPES
+    description = (
+        "two locks are acquired in opposite orders in different places "
+        "in this module; two threads taking one each deadlocks"
+    )
+    hint = (
+        "pick one global acquisition order for the pair and restructure "
+        "the later site to follow it"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        first_line: dict[tuple[str, str], int] = {}
+        sites: dict[tuple[str, str], list[int]] = {}
+        for outer, inner, line in _nested_lock_pairs(ctx.tree):
+            pair = (outer, inner)
+            first_line.setdefault(pair, line)
+            sites.setdefault(pair, []).append(line)
+        for (a, b), lines in sorted(sites.items()):
+            reverse = (b, a)
+            if reverse not in first_line:
+                continue
+            # Flag only the order that appeared later, once per site.
+            if (first_line[(a, b)], (a, b)) > (first_line[reverse], reverse):
+                for line in lines:
+                    yield self.finding(
+                        ctx,
+                        line,
+                        f"acquires {a!r} then {b!r}, but line "
+                        f"{first_line[reverse]} established the order "
+                        f"{b!r} then {a!r}",
+                    )

@@ -1,0 +1,119 @@
+"""Rule registry: id -> rule class, with lazy rule-module loading.
+
+Rule modules register themselves at import time::
+
+    from repro.analysis.registry import register
+
+    @register
+    class WallClockRead(Rule):
+        id = "DET002"
+        ...
+
+:func:`default_rules` imports the built-in rule modules on first use
+(so ``framework`` stays import-cycle free) and returns one instance of
+every registered rule, sorted by id.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.analysis.framework import Rule
+
+__all__ = [
+    "all_rule_classes",
+    "catalog",
+    "default_rules",
+    "known_rule_ids",
+    "register",
+    "rules_for",
+]
+
+_RULES: dict[str, type[Rule]] = {}
+
+_ID_RE = re.compile(r"^[A-Z]{3,5}\d{3}$")
+
+# Framework-emitted pseudo-rules (documented, not instantiable).
+FRAMEWORK_IDS = {
+    "LINT001": "allow directive without a justification or with an "
+               "unknown rule id",
+    "LINT002": "file could not be parsed (syntax error)",
+}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to the registry (ids are unique)."""
+    if not _ID_RE.match(cls.id or ""):
+        raise ValueError(
+            f"rule id {cls.id!r} does not match '^[A-Z]{{3,5}}\\d{{3}}$'"
+        )
+    if cls.severity not in ("error", "warning"):
+        raise ValueError(f"rule {cls.id}: bad severity {cls.severity!r}")
+    existing = _RULES.get(cls.id)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    _RULES[cls.id] = cls
+    return cls
+
+
+def _load_builtin_rules() -> None:
+    # Imported for their registration side effects.
+    import repro.analysis.concurrency  # noqa: F401
+    import repro.analysis.rules  # noqa: F401
+
+
+def all_rule_classes() -> dict[str, type[Rule]]:
+    """Registered rule classes by id (built-ins loaded on demand)."""
+    _load_builtin_rules()
+    return dict(_RULES)
+
+
+def known_rule_ids() -> set[str]:
+    """Every valid rule id: registered rules plus the framework's own."""
+    return set(all_rule_classes()) | set(FRAMEWORK_IDS)
+
+
+def default_rules() -> list[Rule]:
+    """One instance of every registered rule, sorted by id."""
+    return [cls() for _, cls in sorted(all_rule_classes().items())]
+
+
+def rules_for(select: "Iterable[str] | None") -> list[Rule]:
+    """Instances for the selected ids (None = all); raises on unknowns."""
+    if select is None:
+        return default_rules()
+    classes = all_rule_classes()
+    wanted = list(select)
+    unknown = sorted(set(wanted) - set(classes))
+    if unknown:
+        raise KeyError(
+            f"unknown rule id(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(classes))}"
+        )
+    return [classes[rid]() for rid in sorted(set(wanted))]
+
+
+def catalog() -> list[dict[str, Any]]:
+    """Rule metadata for ``repro lint --list-rules`` and the docs."""
+    rows = [
+        {
+            "id": rid,
+            "name": cls.name,
+            "severity": cls.severity,
+            "scopes": list(cls.scopes) or ["(whole tree)"],
+            "description": cls.description,
+        }
+        for rid, cls in sorted(all_rule_classes().items())
+    ]
+    for rid, description in sorted(FRAMEWORK_IDS.items()):
+        rows.append(
+            {
+                "id": rid,
+                "name": "framework",
+                "severity": "error",
+                "scopes": ["(whole tree)"],
+                "description": description,
+            }
+        )
+    return rows

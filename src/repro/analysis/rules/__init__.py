@@ -1,0 +1,5 @@
+"""Built-in lint rules (imported for their registration side effects)."""
+
+from repro.analysis.rules import correctness, determinism, observability
+
+__all__ = ["correctness", "determinism", "observability"]

@@ -1,0 +1,138 @@
+"""Correctness rules: failure modes that corrupt results silently.
+
+- ``COR001``: mutable default arguments (the shared-instance trap).
+- ``COR002``: bare ``except:`` (swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` along with everything else).
+- ``COR003``: a broad handler (bare / ``Exception`` / ``BaseException``)
+  whose body is only ``pass`` -- I/O and math failures vanish without a
+  trace, which is exactly how a reproduction drifts from the paper
+  without anyone noticing.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.framework import FileContext, Finding, Rule
+from repro.analysis.registry import register
+
+__all__ = ["BareExcept", "MutableDefaultArg", "SilentBroadExcept"]
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("list", "dict", "set", "bytearray",
+                                "defaultdict", "OrderedDict", "Counter",
+                                "deque")
+    return False
+
+
+@register
+class MutableDefaultArg(Rule):
+    """COR001: default argument values shared across every call."""
+
+    id = "COR001"
+    name = "mutable-default-arg"
+    severity = "error"
+    description = (
+        "mutable default argument is evaluated once and shared by every "
+        "call; mutations leak across invocations"
+    )
+    hint = "default to None and construct the container inside the body"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {node.name}()",
+                    )
+
+
+@register
+class BareExcept(Rule):
+    """COR002: ``except:`` catches interpreter-exit exceptions too."""
+
+    id = "COR002"
+    name = "bare-except"
+    severity = "error"
+    description = (
+        "bare 'except:' also catches KeyboardInterrupt/SystemExit and "
+        "hides the real failure class"
+    )
+    hint = "name the exception types the handler can actually recover from"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(ctx, node, "bare 'except:' clause")
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    names: list[ast.AST] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for item in names:
+        if isinstance(item, ast.Name) and item.id in (
+            "Exception", "BaseException"
+        ):
+            return True
+        if isinstance(item, ast.Attribute) and item.attr in (
+            "Exception", "BaseException"
+        ):
+            return True
+    return False
+
+
+def _is_silent(body: list[ast.stmt]) -> bool:
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis)
+        for stmt in body
+    )
+
+
+@register
+class SilentBroadExcept(Rule):
+    """COR003: broad handlers that discard the exception entirely."""
+
+    id = "COR003"
+    name = "silent-broad-except"
+    severity = "error"
+    description = (
+        "broad exception handler whose body is only 'pass': failures "
+        "(I/O errors included) disappear without logging or counting"
+    )
+    hint = (
+        "narrow the exception type, or log through repro.obs before "
+        "continuing; truly-sanctioned swallows take a justified "
+        "'# lint: allow[COR003] <reason>'"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.ExceptHandler)
+                and _is_broad(node)
+                and _is_silent(node.body)
+            ):
+                yield self.finding(
+                    ctx, node, "broad exception silently swallowed"
+                )

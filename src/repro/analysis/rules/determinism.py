@@ -1,0 +1,277 @@
+"""Determinism rules: the byte-identical-replay invariants.
+
+The reproduction's headline claim -- identical BST output for identical
+``--seed`` -- holds only while no core path reads the wall clock or
+draws from an unseeded RNG, and while nothing iterates hash-ordered
+containers.  These rules make those invariants machine-checked:
+
+- ``DET001``: module-level ``random.*`` / ``np.random.*`` draws (the
+  process-global RNG is shared, unseeded state).
+- ``DET002``: wall-clock reads (``time.time``, zero-argument
+  ``time.gmtime``/``localtime``, ``datetime.now`` and friends).
+- ``DET003``: unseeded RNG construction and ambient entropy
+  (``default_rng()`` with no seed, ``random.Random()``, global
+  ``seed(...)`` calls, ``os.urandom``, ``uuid.uuid4``, ``secrets``).
+- ``DET004``: iteration directly over a ``set`` in the numeric core --
+  hash order varies across ``PYTHONHASHSEED`` for strings.
+
+Sanctioned exceptions (provenance timestamps, run-id entropy) carry a
+justified ``# lint: allow[...]`` directive at the call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import FileContext, Finding, Rule
+from repro.analysis.registry import register
+
+__all__ = [
+    "GlobalRandomDraw",
+    "SetOrderIteration",
+    "UnseededEntropy",
+    "WallClockRead",
+]
+
+CORE_SCOPES = ("repro.core", "repro.stats", "repro.vendors")
+
+
+def _attr_chain(node: ast.AST) -> tuple[str, ...]:
+    """``np.random.default_rng`` -> ``("np", "random", "default_rng")``.
+
+    Empty when the chain is rooted anywhere but a plain name (so
+    ``self.rng.normal(...)`` -- an instance RNG -- never matches).
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def _calls(tree: ast.Module) -> Iterator[tuple[ast.Call, tuple[str, ...]]]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            chain = _attr_chain(node.func)
+            if chain:
+                yield node, chain
+
+
+_NUMPY_ROOTS = ("np", "numpy")
+
+# numpy.random module-level functions that draw from the global RNG.
+_NP_GLOBAL_DRAWS = {
+    "rand", "randn", "randint", "random", "random_sample", "choice",
+    "shuffle", "permutation", "normal", "uniform", "exponential",
+    "poisson", "lognormal", "gamma", "beta", "binomial",
+}
+
+# stdlib `random` module draw functions (module-level = global RNG).
+_STDLIB_DRAWS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "shuffle", "sample", "gauss", "normalvariate", "betavariate",
+    "expovariate", "lognormvariate", "triangular", "vonmisesvariate",
+    "randbytes", "getrandbits",
+}
+
+
+@register
+class GlobalRandomDraw(Rule):
+    """DET001: draws from the process-global (unseeded) RNG."""
+
+    id = "DET001"
+    name = "global-random-draw"
+    severity = "error"
+    description = (
+        "call draws from the module-level random / numpy.random global "
+        "RNG, whose state is process-wide and unseeded"
+    )
+    hint = (
+        "thread an explicit np.random.default_rng(seed) (or "
+        "random.Random(seed)) instance through the call chain"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node, chain in _calls(ctx.tree):
+            if (
+                len(chain) == 2
+                and chain[0] == "random"
+                and chain[1] in _STDLIB_DRAWS
+            ):
+                yield self.finding(
+                    ctx, node, f"global RNG draw random.{chain[1]}()"
+                )
+            elif (
+                len(chain) == 3
+                and chain[0] in _NUMPY_ROOTS
+                and chain[1] == "random"
+                and chain[2] in _NP_GLOBAL_DRAWS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"global RNG draw {chain[0]}.random.{chain[2]}()",
+                )
+
+
+# (module-chain suffix, zero-arg-only) pairs that read the wall clock.
+_WALL_CLOCK = {
+    ("time", "time"): False,
+    ("time", "time_ns"): False,
+    ("time", "gmtime"): True,  # with an argument it converts, not reads
+    ("time", "localtime"): True,
+    ("time", "ctime"): True,
+    ("time", "asctime"): True,
+    ("datetime", "now"): False,
+    ("datetime", "utcnow"): False,
+    ("date", "today"): False,
+}
+
+
+@register
+class WallClockRead(Rule):
+    """DET002: wall-clock reads make output depend on when it ran."""
+
+    id = "DET002"
+    name = "wall-clock-read"
+    severity = "error"
+    description = (
+        "reads the wall clock (time.time / datetime.now / ...); output "
+        "depends on when the code ran, not only on its inputs"
+    )
+    hint = (
+        "use time.monotonic()/perf_counter() for durations, or pass the "
+        "timestamp in; sanctioned provenance timestamps take a "
+        "justified '# lint: allow[DET002] <reason>'"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node, chain in _calls(ctx.tree):
+            if len(chain) < 2:
+                continue
+            key = (chain[-2], chain[-1])
+            zero_arg_only = _WALL_CLOCK.get(key)
+            if zero_arg_only is None:
+                continue
+            if zero_arg_only and (node.args or node.keywords):
+                continue
+            yield self.finding(
+                ctx, node, f"wall-clock read {'.'.join(chain)}()"
+            )
+
+
+@register
+class UnseededEntropy(Rule):
+    """DET003: RNGs built without a seed, and ambient entropy sources."""
+
+    id = "DET003"
+    name = "unseeded-entropy"
+    severity = "error"
+    description = (
+        "constructs an RNG without an explicit seed, reseeds the global "
+        "RNG, or pulls ambient entropy (os.urandom / uuid4 / secrets)"
+    )
+    hint = (
+        "derive the seed from the caller's seed (config, CLI --seed, or "
+        "a stable content hash such as zlib.crc32(name))"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node, chain in _calls(ctx.tree):
+            dotted = ".".join(chain)
+            no_args = not node.args and not node.keywords
+            if (
+                chain[-1] in ("default_rng", "RandomState")
+                and len(chain) >= 2
+                and chain[-2] == "random"
+                and no_args
+            ):
+                yield self.finding(
+                    ctx, node, f"unseeded generator {dotted}()"
+                )
+            elif dotted == "random.Random" and no_args:
+                yield self.finding(
+                    ctx, node, "unseeded generator random.Random()"
+                )
+            elif chain[-1] == "seed" and chain[0] in (
+                "random", *_NUMPY_ROOTS
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{dotted}() reseeds the process-global RNG",
+                )
+            elif dotted in ("os.urandom", "uuid.uuid4") or chain[0] == (
+                "secrets"
+            ):
+                yield self.finding(
+                    ctx, node, f"ambient entropy source {dotted}()"
+                )
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """A set literal, a ``set(...)``/``frozenset(...)`` call, or a set op."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        # `seen | new` is only set-typed if a side visibly is.
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+@register
+class SetOrderIteration(Rule):
+    """DET004: hash-ordered iteration in the numeric core."""
+
+    id = "DET004"
+    name = "set-order-iteration"
+    severity = "error"
+    scopes = CORE_SCOPES
+    description = (
+        "iterates a set (or materialises one) in hash order; string "
+        "hashing varies across PYTHONHASHSEED, so downstream order -- "
+        "and any result built from it -- is not reproducible"
+    )
+    hint = "wrap the set in sorted(...) before iterating or listing it"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        sorted_iters: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            # sorted(set(...)) / sorted({...}) is the sanctioned fix.
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("sorted", "min", "max", "sum", "len",
+                                     "any", "all")
+                and node.args
+            ):
+                sorted_iters.add(id(node.args[0]))
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.AST] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple", "enumerate")
+                and node.args
+            ):
+                iters.append(node.args[0])
+            for it in iters:
+                if id(it) in sorted_iters:
+                    continue
+                if _is_set_expr(it):
+                    yield self.finding(
+                        ctx, it, "iteration over a set is hash-ordered"
+                    )

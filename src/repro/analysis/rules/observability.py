@@ -1,0 +1,173 @@
+"""Observability naming discipline.
+
+`docs/OBSERVABILITY.md` is the contract: every span and metric the
+pipeline emits is listed there, named ``<module>.<stage>`` in lowercase
+dotted form.  Dashboards, the run-ledger span digest, and
+``repro obs diff`` all key on those names, so an undocumented or
+misspelled name is an observability regression:
+
+- ``OBS001``: a ``span(...)`` / ``counter(...)`` / ``gauge(...)`` /
+  ``histogram(...)`` name literal that is not lowercase dotted.
+- ``OBS002``: a literal name missing from the documented inventory
+  (rows with ``<placeholder>`` segments, e.g. ``vendor.<v>.generate``,
+  match any lowercase segment; ``quality.*`` matches the prefix).
+
+Dynamic names (f-strings) are checked fragment-wise for style and
+skipped by the inventory rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from functools import lru_cache
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.analysis.framework import FileContext, Finding, Rule
+from repro.analysis.registry import register
+
+__all__ = ["ObsNameStyle", "UndocumentedObsName", "load_name_inventory"]
+
+_INSTRUMENT_FUNCS = {"span", "counter", "gauge", "histogram"}
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_]*(\.[a-z0-9_]+)*$")
+_FRAGMENT_RE = re.compile(r"^[a-z0-9_.]*$")
+
+_TOKEN_RE = re.compile(r"`([a-z0-9_.<>*]+)`")
+_SECTION_HEAD = "## Naming convention"
+
+
+def _terminal_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _instrument_calls(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.Call, str, ast.AST]]:
+    """Calls to span/counter/gauge/histogram with their first argument."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call) or not node.args:
+            continue
+        name = _terminal_name(node.func)
+        if name in _INSTRUMENT_FUNCS:
+            yield node, name, node.args[0]
+
+
+@lru_cache(maxsize=8)
+def _inventory_patterns(doc_path: str) -> "tuple[re.Pattern, ...]":
+    return tuple(
+        re.compile(pattern)
+        for pattern in load_name_inventory(Path(doc_path))
+    )
+
+
+def load_name_inventory(doc_path: Path) -> list[str]:
+    """Regex sources for every documented span/metric name.
+
+    Parses the markdown tables in the *Naming convention* section of
+    docs/OBSERVABILITY.md: every backticked lowercase dotted token in a
+    table row's first column is an inventory entry.  ``<placeholder>``
+    segments become ``[a-z0-9_]+`` and a literal ``*`` becomes ``.+``.
+    """
+    text = doc_path.read_text(encoding="utf-8")
+    start = text.find(_SECTION_HEAD)
+    if start < 0:
+        return []
+    tail = text[start + len(_SECTION_HEAD):]
+    end = tail.find("\n## ")
+    section = tail if end < 0 else tail[:end]
+    patterns: list[str] = []
+    for line in section.splitlines():
+        line = line.strip()
+        if not line.startswith("|"):
+            continue
+        first_cell = line.split("|")[1]
+        for token in _TOKEN_RE.findall(first_cell):
+            escaped = re.escape(token)
+            escaped = re.sub(r"<[a-z0-9_]+>", r"[a-z0-9_]+", escaped)
+            escaped = escaped.replace(r"\*", ".+")
+            patterns.append(f"^{escaped}$")
+    return patterns
+
+
+@register
+class ObsNameStyle(Rule):
+    """OBS001: span/metric names must be lowercase dotted."""
+
+    id = "OBS001"
+    name = "obs-name-style"
+    severity = "error"
+    description = (
+        "span/metric name literal is not lowercase dotted "
+        "('<module>.<stage>'); mixed-case or spaced names break the "
+        "naming contract in docs/OBSERVABILITY.md"
+    )
+    hint = "rename to lowercase '<module>.<stage>' (e.g. 'bst.fit_upload')"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node, func, arg in _instrument_calls(ctx.tree):
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                if not _NAME_RE.match(arg.value):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{func}() name {arg.value!r} is not lowercase "
+                        "dotted",
+                    )
+            elif isinstance(arg, ast.JoinedStr):
+                for piece in arg.values:
+                    if (
+                        isinstance(piece, ast.Constant)
+                        and isinstance(piece.value, str)
+                        and not _FRAGMENT_RE.match(piece.value)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{func}() dynamic name fragment "
+                            f"{piece.value!r} is not lowercase dotted",
+                        )
+
+
+@register
+class UndocumentedObsName(Rule):
+    """OBS002: literal names must appear in docs/OBSERVABILITY.md."""
+
+    id = "OBS002"
+    name = "undocumented-obs-name"
+    severity = "error"
+    description = (
+        "span/metric name literal is not in the documented inventory "
+        "(the Naming convention tables in docs/OBSERVABILITY.md)"
+    )
+    hint = (
+        "add the name to the span/metric table in docs/OBSERVABILITY.md "
+        "(dashboards and `repro obs diff` key on that inventory)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.obs_doc is None or not Path(ctx.obs_doc).is_file():
+            return
+        patterns = _inventory_patterns(str(ctx.obs_doc))
+        if not patterns:
+            return
+        for node, func, arg in _instrument_calls(ctx.tree):
+            if not (
+                isinstance(arg, ast.Constant) and isinstance(arg.value, str)
+            ):
+                continue
+            name = arg.value
+            if not _NAME_RE.match(name):
+                continue  # OBS001 already reports style problems
+            if not any(pattern.match(name) for pattern in patterns):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{func}() name {name!r} is not documented in "
+                    "docs/OBSERVABILITY.md",
+                )

@@ -16,6 +16,9 @@ Subcommands cover the full reproduction workflow:
   register on miss; warm runs skip the fit entirely).
 - ``repro obs``: inspect the run ledger (``runs`` / ``show`` / ``diff`` /
   ``check``).
+- ``repro lint``: static analysis of the source tree against the repo's
+  own invariants -- determinism, correctness, observability naming, lock
+  discipline (see docs/ANALYSIS.md).
 
 Every command is deterministic given ``--seed``, and every command
 accepts the shared observability flags (``--log-level``, ``--log-format``,
@@ -277,6 +280,43 @@ def build_parser() -> argparse.ArgumentParser:
     dossier.add_argument("--n", type=int, default=20_000)
     _add_seed(dossier)
     dossier.set_defaults(func=_cmd_dossier)
+
+    lint = subparser(
+        "lint",
+        "static analysis: determinism, correctness, observability "
+        "naming, lock discipline (see docs/ANALYSIS.md)",
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None, metavar="PATH",
+        help="files or directories to lint (default: the whole --root)",
+    )
+    lint.add_argument(
+        "--root", default=None, metavar="DIR",
+        help="scan root findings are reported relative to "
+             "(default: ./src when present, else .)",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json is the CI artifact schema)",
+    )
+    lint.add_argument(
+        "--select", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all rules)",
+    )
+    lint.add_argument(
+        "--baseline", default=None, metavar="FILE.json",
+        help="suppression file: known findings pass, new ones fail "
+             "(an absent file is an empty baseline)",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     obs_cmd = subparser("obs", "inspect the run ledger")
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
@@ -566,6 +606,103 @@ def _cmd_dossier(args) -> int:
     ctx = contextualize(tests, catalog, jobs=args.jobs)
     print(city_dossier(ctx, city_label=f"City-{args.city}"))
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Static analysis (repro lint)
+# ---------------------------------------------------------------------------
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        Baseline,
+        analyze,
+        catalog,
+        render_json,
+        render_text,
+        rules_for,
+    )
+    from repro.analysis.framework import iter_python_files
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import span
+
+    if args.list_rules:
+        rows = [
+            [
+                rule["id"],
+                rule["name"],
+                rule["severity"],
+                ", ".join(rule["scopes"]),
+            ]
+            for rule in catalog()
+        ]
+        print(format_table(rows, ["id", "name", "severity", "scopes"]))
+        print("\nfull descriptions: docs/ANALYSIS.md")
+        return 0
+
+    select = (
+        [part.strip() for part in args.select.split(",") if part.strip()]
+        if args.select
+        else None
+    )
+    try:
+        rules = rules_for(select)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.root:
+        root = Path(args.root)
+    else:
+        root = Path("src") if Path("src").is_dir() else Path(".")
+    files = None
+    if args.paths:
+        files = [
+            found
+            for path in args.paths
+            for found in iter_python_files(Path(path))
+        ]
+
+    with span("lint.run", rules=len(rules)) as sp:
+        report = analyze(root, files=files, rules=rules)
+        sp.set(files=report.n_files, findings=len(report.findings))
+
+    if args.write_baseline:
+        if not args.baseline:
+            print(
+                "error: --write-baseline needs --baseline FILE.json",
+                file=sys.stderr,
+            )
+            return 2
+        Baseline.from_findings(report.findings).save(args.baseline)
+        print(
+            f"wrote {len(report.findings)} baseline entries "
+            f"to {args.baseline}"
+        )
+        return 0
+
+    n_baselined = 0
+    if args.baseline:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        report.findings, matched = baseline.filter(report.findings)
+        n_baselined = len(matched)
+
+    obs_metrics.counter("lint.findings").inc(len(report.findings))
+    obs_metrics.counter("lint.rules_run").inc(len(rules))
+    args.run_results = {
+        "findings": float(len(report.findings)),
+        "files_checked": float(report.n_files),
+    }
+
+    if args.format == "json":
+        print(render_json(report, n_baselined))
+    else:
+        print(render_text(report, n_baselined))
+    return 1 if report.findings else 0
 
 
 # ---------------------------------------------------------------------------

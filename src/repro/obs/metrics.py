@@ -119,7 +119,8 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else float("nan")
+        with self._lock:
+            return self.total / self.count if self.count else float("nan")
 
     def percentile(self, q: float) -> float:
         """Estimated ``q``-quantile (0..1) from the reservoir sample.

@@ -488,7 +488,7 @@ class QualityMonitor:
     def report(self) -> QualityReport:
         """Build the finished :class:`QualityReport`."""
         with self._lock:
-            fields = sorted(self._fields)
+            monitors = [self._fields[name] for name in sorted(self._fields)]
             tier_counts = dict(self._tier_counts)
             n_assignments = self._n_assignments
             unmapped = self._unmapped_groups
@@ -505,7 +505,7 @@ class QualityMonitor:
             k = len(tier_counts)
             entropy_norm = entropy / math.log2(k) if k > 1 else 0.0
         return QualityReport(
-            fields=[self._fields[name].snapshot() for name in fields],
+            fields=[monitor.snapshot() for monitor in monitors],
             n_assignments=n_assignments,
             tier_entropy=entropy,
             tier_entropy_normalized=entropy_norm,

@@ -64,7 +64,9 @@ LEDGER_ENV = "REPRO_LEDGER"
 # ---------------------------------------------------------------------------
 def new_run_id() -> str:
     """A unique, sortable run id: ``<UTC compact timestamp>-<6 hex>``."""
+    # lint: allow[DET002] run ids are provenance, stamped at wall-clock
     stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    # lint: allow[DET003] run-id entropy must differ across runs by design
     return f"{stamp}-{os.urandom(3).hex()}"
 
 
@@ -485,9 +487,8 @@ class RunRecorder:
         self.params = dict(params or {})
         self.seed = seed
         self.run_id = new_run_id()
-        self.started_utc = time.strftime(
-            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
-        )
+        # lint: allow[DET002] manifest start timestamp is provenance
+        self.started_utc = time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
         self._start = None
         self._wall: float | None = None
 

@@ -90,6 +90,7 @@ class ModelRecord:
 
     def age_s(self, now: float | None = None) -> float:
         """Seconds since registration."""
+        # lint: allow[DET002] age compares against the stored epoch stamp
         now = time.time() if now is None else now
         return max(now - self.created_s, 0.0)
 
@@ -227,10 +228,9 @@ class ModelRegistry:
         record = ModelRecord(
             key=key,
             digest=digest,
-            created_utc=time.strftime(
-                "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
-            ),
-            created_s=time.time(),
+            # lint: allow[DET002] registration timestamp is provenance
+            created_utc=time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+            created_s=time.time(),  # lint: allow[DET002] provenance
             train_size=len(result),
             schema_version=SCHEMA_VERSION,
             training_stats=training_stats,

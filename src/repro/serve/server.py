@@ -101,7 +101,7 @@ class AssignmentService:
         # Dedicated monitor: the service watches its own traffic even
         # when global observability is off.
         self.quality = QualityMonitor()
-        self.started_s = time.time()
+        self._started = time.monotonic()
         self.n_requests = 0
         self.n_errors = 0
 
@@ -146,7 +146,8 @@ class AssignmentService:
         with self._lock:
             # Another thread may have raced us; keep the first.
             loaded = self._loaded.setdefault(key.slug, loaded)
-        obs_metrics.gauge("serve.models_loaded").set(len(self._loaded))
+            n_loaded = len(self._loaded)
+        obs_metrics.gauge("serve.models_loaded").set(n_loaded)
         return loaded
 
     def batcher_for(self, loaded: _LoadedModel) -> MicroBatcher:
@@ -278,20 +279,33 @@ class AssignmentService:
         return out
 
     # -- health / lifecycle ----------------------------------------------
+    def record_request(self) -> None:
+        """Count a request (handler threads; ``+=`` alone is not atomic)."""
+        with self._lock:
+            self.n_requests += 1
+
+    def record_error(self) -> None:
+        """Count a failed request (handler threads)."""
+        with self._lock:
+            self.n_errors += 1
+
     def health(self) -> dict[str, Any]:
         with self._lock:
             n_loaded = len(self._loaded)
+            n_requests = self.n_requests
+            n_errors = self.n_errors
         return {
             "status": "ok",
-            "uptime_s": round(time.time() - self.started_s, 3),
+            "uptime_s": round(time.monotonic() - self._started, 3),
             "models_registered": len(self.registry.records()),
             "models_loaded": n_loaded,
-            "requests": self.n_requests,
-            "errors": self.n_errors,
+            "requests": n_requests,
+            "errors": n_errors,
             "drift": self.drift_status(),
         }
 
     def models(self) -> list[dict[str, Any]]:
+        # lint: allow[DET002] age_s compares against stored epoch stamps
         now = time.time()
         return [
             {**record.to_dict(), "age_s": round(record.age_s(now), 3)}
@@ -334,7 +348,7 @@ class _Handler(BaseHTTPRequestHandler):
         self.wfile.write(body)
 
     def _error(self, status: int, message: str) -> None:
-        self.server.service.n_errors += 1
+        self.server.service.record_error()
         obs_metrics.counter("serve.errors").inc()
         self._send_json(status, {"error": message})
 
@@ -347,7 +361,7 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _handle(self, route) -> None:
         service = self.server.service
-        service.n_requests += 1
+        service.record_request()
         obs_metrics.counter("serve.requests").inc()
         start = time.perf_counter()
         try:
@@ -366,6 +380,7 @@ class _Handler(BaseHTTPRequestHandler):
             )
             try:
                 self._error(500, f"internal error: {exc}")
+            # lint: allow[COR003] best-effort 500; the socket may be gone
             except Exception:
                 pass
         finally:

@@ -1,0 +1,106 @@
+"""Baseline files: fingerprints, round-trips, multiset filtering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, finding_fingerprint
+from repro.analysis.framework import Finding
+
+
+def _finding(line=10, snippet="t = time.time()", path="repro/a.py",
+             rule="DET002"):
+    return Finding(
+        path=path,
+        line=line,
+        col=4,
+        rule_id=rule,
+        severity="error",
+        message="wall-clock read time.time()",
+        snippet=snippet,
+    )
+
+
+class TestFingerprint:
+    def test_line_number_free(self):
+        # Unrelated edits shift code; the fingerprint must not move.
+        assert finding_fingerprint(_finding(line=10)) == finding_fingerprint(
+            _finding(line=99)
+        )
+
+    def test_sensitive_to_source_text(self):
+        assert finding_fingerprint(_finding()) != finding_fingerprint(
+            _finding(snippet="t = time.time()  # changed")
+        )
+
+    def test_sensitive_to_rule_and_path(self):
+        base = finding_fingerprint(_finding())
+        assert base != finding_fingerprint(_finding(rule="DET003"))
+        assert base != finding_fingerprint(_finding(path="repro/b.py"))
+
+
+class TestRoundTrip:
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        original = Baseline.from_findings(
+            [_finding(), _finding(path="repro/b.py")], reason="seed backlog"
+        )
+        original.save(path)
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        assert {e.fingerprint for e in loaded.entries} == {
+            e.fingerprint for e in original.entries
+        }
+        assert all(e.reason == "seed backlog" for e in loaded.entries)
+
+    def test_absent_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "missing.json")) == 0
+
+    def test_corrupt_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="corrupt baseline"):
+            Baseline.load(path)
+
+    def test_unknown_schema_raises(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"schema": 99, "entries": []}))
+        with pytest.raises(ValueError, match="schema"):
+            Baseline.load(path)
+
+    def test_saved_file_is_stable_json(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([_finding()]).save(path)
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1
+        entry = data["entries"][0]
+        assert entry["rule"] == "DET002"
+        assert len(entry["fingerprint"]) == 16
+
+
+class TestFilter:
+    def test_known_findings_match(self):
+        finding = _finding()
+        baseline = Baseline.from_findings([finding])
+        new, matched = baseline.filter([finding])
+        assert new == []
+        assert matched == [finding]
+
+    def test_new_finding_surfaces(self):
+        baseline = Baseline.from_findings([_finding()])
+        fresh = _finding(path="repro/new.py")
+        new, matched = baseline.filter([_finding(), fresh])
+        assert new == [fresh]
+        assert matched == [_finding()]
+
+    def test_multiset_semantics(self):
+        # One baselined entry covers ONE occurrence of that line text;
+        # a duplicate offending line elsewhere still fails the gate.
+        one = _finding(line=5)
+        twin = _finding(line=50)
+        baseline = Baseline.from_findings([one])
+        new, matched = baseline.filter([one, twin])
+        assert len(matched) == 1
+        assert len(new) == 1

@@ -1,0 +1,284 @@
+"""Tests for the lock-discipline checker (LOCK001 / LOCK002)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+
+from repro.analysis import check_source
+from repro.analysis.concurrency import analyze_class
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+def lock_findings(source: str):
+    return [
+        f
+        for f in check_source(source, relpath="repro/serve/fixture.py")
+        if f.rule_id.startswith("LOCK")
+    ]
+
+
+def _class_report(source: str, name: str):
+    tree = ast.parse(_src(source))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return analyze_class(node)
+    raise AssertionError(f"no class {name}")
+
+
+# A trimmed-down ModelRegistry shape: RLock + OrderedDict LRU cache,
+# guarded helper, and one DELIBERATELY unguarded mutation in `evict`.
+REGISTRY_SHAPED = _src(
+    """
+    import threading
+    from collections import OrderedDict
+
+
+    class CacheRegistry:
+        def __init__(self, cache_size=8):
+            self._lock = threading.RLock()
+            self._cache = OrderedDict()
+            self.cache_size = cache_size
+
+        def _cache_put(self, key, value):
+            # Lock-held helper: every call site takes the lock first.
+            self._cache[key] = value
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+
+        def get(self, key):
+            with self._lock:
+                if key in self._cache:
+                    self._cache.move_to_end(key)
+                    return self._cache[key]
+            value = self._load(key)
+            with self._lock:
+                self._cache_put(key, value)
+            return value
+
+        def _load(self, key):
+            return ("loaded", key)
+
+        def evict(self, key):
+            # BUG (planted): mutates the cache without the lock.
+            self._cache.pop(key, None)
+    """
+)
+
+
+class TestLock001:
+    def test_detects_planted_unguarded_mutation(self):
+        findings = lock_findings(REGISTRY_SHAPED)
+        assert [f.rule_id for f in findings] == ["LOCK001"]
+        assert "evict" in findings[0].message
+        assert "_cache" in findings[0].message
+
+    def test_guarded_helper_pattern_is_clean(self):
+        fixed = REGISTRY_SHAPED.replace(
+            "        self._cache.pop(key, None)\n",
+            "        with self._lock:\n"
+            "            self._cache.pop(key, None)\n",
+        )
+        assert fixed != REGISTRY_SHAPED
+        assert lock_findings(fixed) == []
+
+    def test_report_inference(self):
+        report = _class_report(REGISTRY_SHAPED, "CacheRegistry")
+        assert report.lock_attrs == frozenset({"_lock"})
+        assert "_cache" in report.protected
+        assert len(report.violations) >= 1
+
+    def test_unguarded_read_of_protected_attr(self):
+        source = _src(
+            """
+            import threading
+
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+
+                def inc(self):
+                    with self._lock:
+                        self.n += 1
+
+                def peek(self):
+                    return self.n
+            """
+        )
+        findings = lock_findings(source)
+        assert [f.rule_id for f in findings] == ["LOCK001"]
+        assert "read" in findings[0].message
+
+    def test_snapshot_under_lock_is_clean(self):
+        source = _src(
+            """
+            import threading
+
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.n = 0
+
+                def inc(self):
+                    with self._lock:
+                        self.n += 1
+
+                def peek(self):
+                    with self._lock:
+                        value = self.n
+                    return value
+            """
+        )
+        assert lock_findings(source) == []
+
+    def test_init_writes_are_exempt(self):
+        # Construction precedes publication: __init__ writes do not need
+        # the lock and do not mark attributes as protected by themselves.
+        source = _src(
+            """
+            import threading
+
+
+            class Plain:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.config = {"a": 1}
+
+                def describe(self):
+                    return dict(self.config)
+            """
+        )
+        assert lock_findings(source) == []
+
+    def test_lockless_class_skipped(self):
+        source = _src(
+            """
+            class NoLock:
+                def __init__(self):
+                    self.items = []
+
+                def add(self, x):
+                    self.items.append(x)
+            """
+        )
+        assert lock_findings(source) == []
+        tree = ast.parse(source)
+        cls = next(
+            n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)
+        )
+        assert analyze_class(cls) is None
+
+    def test_mutator_call_counts_as_write(self):
+        source = _src(
+            """
+            import threading
+
+
+            class Store:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, k, v):
+                    with self._lock:
+                        self._items.setdefault(k, v)
+
+                def drop(self, k):
+                    self._items.pop(k, None)
+            """
+        )
+        findings = lock_findings(source)
+        assert [f.rule_id for f in findings] == ["LOCK001"]
+        assert "write" in findings[0].message
+
+
+class TestLock002:
+    def test_reversed_order_flagged(self):
+        source = _src(
+            """
+            import threading
+
+            a_lock = threading.Lock()
+            b_lock = threading.Lock()
+
+
+            def forward():
+                with a_lock:
+                    with b_lock:
+                        pass
+
+
+            def backward():
+                with b_lock:
+                    with a_lock:
+                        pass
+            """
+        )
+        findings = lock_findings(source)
+        assert [f.rule_id for f in findings] == ["LOCK002"]
+        # The later-established order is the one flagged.
+        assert findings[0].line > 8
+
+    def test_consistent_order_clean(self):
+        source = _src(
+            """
+            import threading
+
+            a_lock = threading.Lock()
+            b_lock = threading.Lock()
+
+
+            def one():
+                with a_lock:
+                    with b_lock:
+                        pass
+
+
+            def two():
+                with a_lock:
+                    with b_lock:
+                        pass
+            """
+        )
+        assert lock_findings(source) == []
+
+    def test_single_with_multiple_items(self):
+        source = _src(
+            """
+            import threading
+
+            a_lock = threading.Lock()
+            b_lock = threading.Lock()
+
+
+            def one():
+                with a_lock, b_lock:
+                    pass
+
+
+            def two():
+                with b_lock, a_lock:
+                    pass
+            """
+        )
+        findings = lock_findings(source)
+        assert [f.rule_id for f in findings] == ["LOCK002"]
+
+
+class TestScoping:
+    def test_rule_only_runs_in_threaded_scopes(self):
+        findings = [
+            f
+            for f in check_source(
+                REGISTRY_SHAPED, relpath="repro/core/fixture.py"
+            )
+            if f.rule_id.startswith("LOCK")
+        ]
+        assert findings == []

@@ -1,0 +1,194 @@
+"""Tests for the lint framework: contexts, directives, the runner."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze, check_source
+from repro.analysis.framework import (
+    FileContext,
+    build_context,
+    find_obs_doc,
+    iter_python_files,
+    parse_allows,
+)
+from repro.analysis.registry import (
+    catalog,
+    default_rules,
+    known_rule_ids,
+    rules_for,
+)
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+class TestAllowDirectives:
+    def test_parse_justified(self):
+        allows = parse_allows(
+            "x = 1  # lint: allow[DET002] wall clock is provenance here\n"
+        )
+        assert len(allows) == 1
+        assert allows[0].rule_ids == frozenset({"DET002"})
+        assert allows[0].justified
+        assert "provenance" in allows[0].reason
+
+    def test_parse_multiple_ids(self):
+        allows = parse_allows("y = 2  # lint: allow[DET002, DET003] both\n")
+        assert allows[0].rule_ids == frozenset({"DET002", "DET003"})
+
+    def test_unjustified_directive_is_lint001(self):
+        findings = check_source(
+            "import time\nx = time.time()  # lint: allow[DET002]\n"
+        )
+        ids = {f.rule_id for f in findings}
+        # The bare directive does not suppress, and is itself flagged.
+        assert "LINT001" in ids
+        assert "DET002" in ids
+
+    def test_unknown_rule_id_is_lint001(self):
+        findings = check_source("x = 1  # lint: allow[NOPE999] because\n")
+        assert [f.rule_id for f in findings] == ["LINT001"]
+
+    def test_directive_in_string_literal_ignored(self):
+        findings = check_source('s = "# lint: allow[DET002]"\n')
+        assert findings == []
+
+    def test_allow_on_previous_line(self):
+        findings = check_source(
+            _src(
+                """
+                import time
+                # lint: allow[DET002] sanctioned timestamp
+                stamp = time.time()
+                """
+            )
+        )
+        assert findings == []
+
+    def test_allow_does_not_leak_to_other_lines(self):
+        findings = check_source(
+            _src(
+                """
+                import time
+                a = time.time()  # lint: allow[DET002] sanctioned
+                b = time.time()
+                """
+            )
+        )
+        assert [f.rule_id for f in findings] == ["DET002"]
+        assert findings[0].line == 3
+
+
+class TestFileContext:
+    def test_module_name(self, tmp_path):
+        path = tmp_path / "repro" / "serve" / "server.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("x = 1\n")
+        ctx = build_context(path, tmp_path)
+        assert isinstance(ctx, FileContext)
+        assert ctx.module == "repro.serve.server"
+
+    def test_package_init_module_name(self, tmp_path):
+        path = tmp_path / "repro" / "obs" / "__init__.py"
+        path.parent.mkdir(parents=True)
+        path.write_text("x = 1\n")
+        ctx = build_context(path, tmp_path)
+        assert ctx.module == "repro.obs"
+
+    def test_syntax_error_becomes_lint002(self, tmp_path):
+        path = tmp_path / "broken.py"
+        path.write_text("def f(:\n")
+        report = analyze(tmp_path)
+        assert [f.rule_id for f in report.findings] == ["LINT002"]
+        assert report.findings[0].path == "broken.py"
+
+
+class TestDiscovery:
+    def test_skips_pycache(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "skip.py").write_text("x = 1\n")
+        names = [p.name for p in iter_python_files(tmp_path)]
+        assert names == ["ok.py"]
+
+    def test_single_file_root(self, tmp_path):
+        path = tmp_path / "one.py"
+        path.write_text("x = 1\n")
+        assert iter_python_files(path) == [path]
+
+    def test_find_obs_doc_walks_upward(self, tmp_path):
+        doc = tmp_path / "docs" / "OBSERVABILITY.md"
+        doc.parent.mkdir()
+        doc.write_text("# obs\n")
+        nested = tmp_path / "src" / "repro"
+        nested.mkdir(parents=True)
+        assert find_obs_doc(nested) == doc
+
+    def test_find_obs_doc_absent(self, tmp_path):
+        assert find_obs_doc(tmp_path) is None
+
+
+class TestRegistry:
+    def test_default_rules_sorted_and_unique(self):
+        rules = default_rules()
+        ids = [rule.id for rule in rules]
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 10
+
+    def test_rules_for_subset(self):
+        rules = rules_for(["DET002", "COR001"])
+        assert [r.id for r in rules] == ["COR001", "DET002"]
+
+    def test_rules_for_unknown_raises(self):
+        with pytest.raises(KeyError, match="NOPE999"):
+            rules_for(["NOPE999"])
+
+    def test_catalog_covers_framework_ids(self):
+        ids = {row["id"] for row in catalog()}
+        assert {"LINT001", "LINT002"} <= ids
+        assert ids <= known_rule_ids()
+
+    def test_scoped_rule_skips_other_modules(self):
+        # DET004 is scoped to core/stats/vendors; the same source in
+        # an unscoped module raises nothing.
+        source = "for item in {1, 2, 3}:\n    pass\n"
+        in_scope = check_source(source, relpath="repro/core/thing.py")
+        out_of_scope = check_source(source, relpath="repro/pipeline/x.py")
+        assert [f.rule_id for f in in_scope] == ["DET004"]
+        assert out_of_scope == []
+
+
+class TestAnalyzeRunner:
+    def test_report_shape(self, tmp_path):
+        (tmp_path / "a.py").write_text("import time\nt = time.time()\n")
+        (tmp_path / "b.py").write_text("x = 1\n")
+        report = analyze(tmp_path)
+        assert report.n_files == 2
+        assert not report.ok
+        assert [f.rule_id for f in report.findings] == ["DET002"]
+        payload = report.to_dict()
+        assert payload["files_checked"] == 2
+        assert payload["findings"][0]["rule"] == "DET002"
+
+    def test_suppressed_findings_tracked(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            "import time\nt = time.time()  # lint: allow[DET002] sanctioned\n"
+        )
+        report = analyze(tmp_path)
+        assert report.ok
+        assert len(report.suppressed) == 1
+
+    def test_subset_run_keeps_foreign_allows_valid(self, tmp_path):
+        # An allow directive naming a rule outside the selected subset
+        # must not be reported as unknown.
+        (tmp_path / "a.py").write_text(
+            "x = 1  # lint: allow[COR003] best-effort cleanup\n"
+        )
+        report = analyze(tmp_path, rules=rules_for(["DET002"]))
+        assert report.ok

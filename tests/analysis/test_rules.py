@@ -1,0 +1,263 @@
+"""Per-rule tests: fixture sources with known violations (and fixes)."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.analysis import check_source
+from repro.analysis.rules.observability import load_name_inventory
+
+
+def _src(text: str) -> str:
+    return textwrap.dedent(text).lstrip("\n")
+
+
+def ids_of(source: str, relpath: str = "repro/example.py", **kwargs):
+    return [f.rule_id for f in check_source(source, relpath=relpath, **kwargs)]
+
+
+class TestDET001GlobalRandomDraw:
+    def test_stdlib_global_draw(self):
+        assert ids_of("import random\nx = random.random()\n") == ["DET001"]
+
+    def test_numpy_global_draw(self):
+        source = "import numpy as np\nx = np.random.normal(0, 1, 10)\n"
+        assert ids_of(source) == ["DET001"]
+
+    def test_seeded_instance_is_clean(self):
+        source = _src(
+            """
+            import numpy as np
+            rng = np.random.default_rng(7)
+            x = rng.normal(0, 1, 10)
+            """
+        )
+        assert ids_of(source) == []
+
+    def test_instance_rng_attribute_is_clean(self):
+        # self.rng.normal(...) roots at `self`, not a module name.
+        source = _src(
+            """
+            class Sim:
+                def draw(self):
+                    return self.rng.normal(0, 1)
+            """
+        )
+        assert ids_of(source) == []
+
+
+class TestDET002WallClockRead:
+    def test_time_time(self):
+        assert ids_of("import time\nt = time.time()\n") == ["DET002"]
+
+    def test_datetime_now(self):
+        source = "import datetime\nt = datetime.datetime.now()\n"
+        assert ids_of(source) == ["DET002"]
+
+    def test_zero_arg_gmtime_flagged(self):
+        source = "import time\nt = time.gmtime()\n"
+        assert ids_of(source) == ["DET002"]
+
+    def test_gmtime_with_argument_converts_not_reads(self):
+        source = "import time\nt = time.gmtime(0.0)\n"
+        assert ids_of(source) == []
+
+    def test_monotonic_clocks_are_clean(self):
+        source = _src(
+            """
+            import time
+            a = time.monotonic()
+            b = time.perf_counter()
+            """
+        )
+        assert ids_of(source) == []
+
+
+class TestDET003UnseededEntropy:
+    def test_unseeded_default_rng(self):
+        source = "import numpy as np\nrng = np.random.default_rng()\n"
+        assert ids_of(source) == ["DET003"]
+
+    def test_seeded_default_rng_clean(self):
+        source = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert ids_of(source) == []
+
+    def test_unseeded_random_random_class(self):
+        assert ids_of("import random\nr = random.Random()\n") == ["DET003"]
+
+    def test_global_reseed(self):
+        assert ids_of("import random\nrandom.seed(4)\n") == ["DET003"]
+
+    def test_ambient_entropy(self):
+        assert ids_of("import os\nx = os.urandom(8)\n") == ["DET003"]
+        assert ids_of("import uuid\nx = uuid.uuid4()\n") == ["DET003"]
+        assert ids_of("import secrets\nx = secrets.token_hex()\n") == [
+            "DET003"
+        ]
+
+    def test_content_hash_seed_is_clean(self):
+        source = _src(
+            """
+            import random
+            import zlib
+            r = random.Random(zlib.crc32(b"histogram-name"))
+            """
+        )
+        assert ids_of(source) == []
+
+
+class TestDET004SetOrderIteration:
+    CORE = "repro/core/thing.py"
+
+    def test_for_over_set_literal(self):
+        source = "for x in {1, 2}:\n    pass\n"
+        assert ids_of(source, relpath=self.CORE) == ["DET004"]
+
+    def test_comprehension_over_set_call(self):
+        source = "out = [x for x in set(items)]\n"
+        assert ids_of(source, relpath=self.CORE) == ["DET004"]
+
+    def test_list_of_set_union(self):
+        source = "order = list(seen | {3})\n"
+        assert ids_of(source, relpath=self.CORE) == ["DET004"]
+
+    def test_sorted_set_is_the_fix(self):
+        source = "for x in sorted({2, 1}):\n    pass\n"
+        assert ids_of(source, relpath=self.CORE) == []
+
+    def test_len_and_membership_are_clean(self):
+        source = "n = len({1, 2})\nhit = 3 in {1, 2, 3}\n"
+        assert ids_of(source, relpath=self.CORE) == []
+
+
+class TestCOR001MutableDefaultArg:
+    def test_list_default(self):
+        assert ids_of("def f(xs=[]):\n    return xs\n") == ["COR001"]
+
+    def test_dict_call_default(self):
+        assert ids_of("def f(m=dict()):\n    return m\n") == ["COR001"]
+
+    def test_kwonly_default(self):
+        assert ids_of("def f(*, m={}):\n    return m\n") == ["COR001"]
+
+    def test_none_default_clean(self):
+        assert ids_of("def f(xs=None):\n    return xs or []\n") == []
+
+    def test_tuple_default_clean(self):
+        assert ids_of("def f(xs=()):\n    return xs\n") == []
+
+
+class TestCOR002BareExcept:
+    def test_bare_except(self):
+        source = "try:\n    pass\nexcept:\n    raise ValueError\n"
+        assert ids_of(source) == ["COR002"]
+
+    def test_typed_except_clean(self):
+        source = "try:\n    pass\nexcept OSError:\n    raise\n"
+        assert ids_of(source) == []
+
+
+class TestCOR003SilentBroadExcept:
+    def test_silent_exception_pass(self):
+        source = "try:\n    pass\nexcept Exception:\n    pass\n"
+        assert ids_of(source) == ["COR003"]
+
+    def test_bare_silent_is_both(self):
+        source = "try:\n    pass\nexcept:\n    pass\n"
+        assert sorted(ids_of(source)) == ["COR002", "COR003"]
+
+    def test_silent_ellipsis_body(self):
+        source = "try:\n    pass\nexcept Exception:\n    ...\n"
+        assert ids_of(source) == ["COR003"]
+
+    def test_narrow_silent_pass_allowed(self):
+        # Swallowing a *specific* exception is a judgement call, not
+        # automatically a finding.
+        source = "try:\n    pass\nexcept FileNotFoundError:\n    pass\n"
+        assert ids_of(source) == []
+
+    def test_logged_broad_handler_clean(self):
+        source = _src(
+            """
+            try:
+                pass
+            except Exception as exc:
+                log.error("failed", extra={"error": repr(exc)})
+            """
+        )
+        assert ids_of(source) == []
+
+
+@pytest.fixture
+def obs_doc(tmp_path):
+    doc = tmp_path / "OBSERVABILITY.md"
+    doc.write_text(
+        _src(
+            """
+            # Observability
+
+            ## Naming convention
+
+            | span | where |
+            |------|-------|
+            | `bst.fit` | core |
+            | `vendor.<v>.generate` | simulators |
+
+            | metric | type |
+            |--------|------|
+            | `em.iterations` | histogram |
+            | `quality.*` | gauge |
+
+            ## Something else
+            """
+        )
+    )
+    return doc
+
+
+class TestOBS001NameStyle:
+    def test_uppercase_name(self):
+        source = 'with span("BST.Fit"):\n    pass\n'
+        assert ids_of(source) == ["OBS001"]
+
+    def test_spaced_name(self):
+        source = 'counter("bst fit").inc()\n'
+        assert ids_of(source) == ["OBS001"]
+
+    def test_fstring_fragment_checked(self):
+        source = 'with span(f"Vendor.{v}.generate"):\n    pass\n'
+        assert ids_of(source) == ["OBS001"]
+
+    def test_lowercase_dotted_clean(self):
+        source = 'with span("bst.fit_upload"):\n    pass\n'
+        assert ids_of(source) == []
+
+
+class TestOBS002Inventory:
+    def test_documented_name_clean(self, obs_doc):
+        source = 'with span("bst.fit"):\n    pass\n'
+        assert ids_of(source, obs_doc=obs_doc) == []
+
+    def test_undocumented_name_flagged(self, obs_doc):
+        source = 'with span("bst.not_in_doc"):\n    pass\n'
+        assert ids_of(source, obs_doc=obs_doc) == ["OBS002"]
+
+    def test_placeholder_row_matches(self, obs_doc):
+        source = 'with span("vendor.ookla.generate"):\n    pass\n'
+        assert ids_of(source, obs_doc=obs_doc) == []
+
+    def test_wildcard_row_matches(self, obs_doc):
+        source = 'gauge("quality.nan_rate").set(0.0)\n'
+        assert ids_of(source, obs_doc=obs_doc) == []
+
+    def test_without_doc_rule_skips(self):
+        source = 'with span("anything.goes"):\n    pass\n'
+        assert ids_of(source, obs_doc=None) == []
+
+    def test_inventory_parser(self, obs_doc):
+        patterns = load_name_inventory(obs_doc)
+        assert "^bst\\.fit$" in patterns
+        assert any("[a-z0-9_]+" in p for p in patterns)
+        assert any(".+" in p for p in patterns)

@@ -1,0 +1,193 @@
+"""Threading stress tests: registry LRU cache and the micro-batcher.
+
+Eight worker threads hammer the shared structures; the assertions are
+about *integrity* (no lost updates, every future resolved, results
+identical to the single-threaded answers) and *liveness* (everything
+finishes well inside a timeout -- a deadlock fails the join, not the
+whole pytest run).
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor, as_completed
+
+import numpy as np
+import pytest
+
+from repro.core.bst import BSTModel
+from repro.serve.engine import MicroBatcher, TierAssigner
+from repro.serve.registry import ModelRegistry
+
+N_THREADS = 8
+JOIN_TIMEOUT_S = 60.0
+
+
+@pytest.fixture
+def small_registry(tmp_path):
+    """Cache far smaller than the key space, to force constant eviction."""
+    return ModelRegistry(tmp_path / "models", cache_size=2)
+
+
+@pytest.fixture(scope="module")
+def fits(catalog_a, ookla_a):
+    """Six distinguishable fits (different training subsets)."""
+    downs = np.asarray(ookla_a["download_mbps"], dtype=float)
+    ups = np.asarray(ookla_a["upload_mbps"], dtype=float)
+    out = []
+    for i in range(6):
+        lo = i * 150
+        sample = slice(lo, lo + 2_000)
+        out.append(BSTModel(catalog_a).fit(downs[sample], ups[sample]))
+    return out
+
+
+def _run_threads(worker, n_threads=N_THREADS):
+    """Run ``worker(thread_index)`` on N threads; fail on hang or error."""
+    with ThreadPoolExecutor(max_workers=n_threads) as pool:
+        futures = [pool.submit(worker, i) for i in range(n_threads)]
+        done = []
+        for fut in as_completed(futures, timeout=JOIN_TIMEOUT_S):
+            done.append(fut.result())  # re-raises worker exceptions
+    assert len(done) == n_threads
+    return done
+
+
+class TestRegistryStress:
+    def test_concurrent_load_with_eviction(
+        self, small_registry, fits, catalog_a
+    ):
+        """Concurrent loads across 6 keys against a 2-slot LRU cache."""
+        keys = []
+        expected = {}
+        for i, fitted in enumerate(fits):
+            key = small_registry.key_for(chr(ord("A") + i), catalog_a)
+            record = small_registry.register(key, fitted)
+            keys.append(key)
+            expected[key.slug] = record.digest
+
+        def worker(tid: int):
+            rng = np.random.default_rng(tid)
+            checked = 0
+            for pick in rng.integers(0, len(keys), 40):
+                key = keys[int(pick)]
+                result, record = small_registry.load(key)
+                # Integrity: the cache never hands back the wrong model.
+                assert record.digest == expected[key.slug]
+                assert len(result) == len(fits[int(pick)])
+                checked += 1
+            return checked
+
+        assert sum(_run_threads(worker)) == N_THREADS * 40
+        # The LRU bound held under concurrency.
+        assert len(small_registry.cached_digests) <= 2
+
+    def test_concurrent_register_and_load(self, small_registry, fits,
+                                          catalog_a):
+        """Writers registering while readers load: no lost registrations."""
+        barrier = threading.Barrier(N_THREADS)
+
+        def worker(tid: int):
+            barrier.wait(timeout=JOIN_TIMEOUT_S)
+            fitted = fits[tid % len(fits)]
+            key = small_registry.key_for(chr(ord("A") + tid), catalog_a)
+            record = small_registry.register(key, fitted)
+            result, loaded_record = small_registry.load(key)
+            assert loaded_record.digest == record.digest
+            return key.slug
+
+        slugs = _run_threads(worker)
+        # Every thread's registration survived (no lost index updates).
+        assert len(set(slugs)) == N_THREADS
+        recorded = {record.key.slug for record in small_registry.records()}
+        assert set(slugs) <= recorded
+
+    def test_concurrent_eviction_is_safe(self, small_registry, fits,
+                                         catalog_a):
+        """evict_cache racing loads never corrupts results."""
+        key = small_registry.key_for("A", catalog_a)
+        small_registry.register(key, fits[0])
+        stop = threading.Event()
+
+        def evictor(_tid: int):
+            while not stop.is_set():
+                small_registry.evict_cache()
+            return 0
+
+        def loader(_tid: int):
+            for _ in range(60):
+                result, record = small_registry.load(key)
+                assert len(result) == len(fits[0])
+            stop.set()
+            return 60
+
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            ev = pool.submit(evictor, 0)
+            ld = pool.submit(loader, 1)
+            assert ld.result(timeout=JOIN_TIMEOUT_S) == 60
+            assert ev.result(timeout=JOIN_TIMEOUT_S) == 0
+
+
+class TestMicroBatcherStress:
+    def test_eight_producers_no_lost_futures(self, fits, fresh_sample):
+        """8 producers * 50 tuples; every future resolves correctly."""
+        assigner = TierAssigner(fits[0])
+        downs, ups = fresh_sample
+        per_thread = 50
+        batcher = MicroBatcher(assigner, max_batch=32,
+                               flush_interval_s=0.002)
+        try:
+            def worker(tid: int):
+                futures = []
+                for j in range(per_thread):
+                    idx = (tid * per_thread + j) % len(downs)
+                    futures.append(
+                        (idx, batcher.submit(downs[idx], ups[idx],
+                                             timeout_s=JOIN_TIMEOUT_S))
+                    )
+                out = []
+                for idx, fut in futures:
+                    out.append((idx, fut.result(timeout=JOIN_TIMEOUT_S)))
+                return out
+
+            results = [
+                pair for chunk in _run_threads(worker) for pair in chunk
+            ]
+        finally:
+            batcher.close()
+        assert len(results) == N_THREADS * per_thread
+        # Integrity: batched answers match the direct single assignment.
+        for idx, (tier, group) in results[::17]:
+            assert (tier, group) == assigner.assign_one(downs[idx], ups[idx])
+
+    def test_close_after_producers_finish_flushes_everything(
+        self, fits, fresh_sample
+    ):
+        """close() drains the queue; pre-close submissions all resolve."""
+        assigner = TierAssigner(fits[0])
+        downs, ups = fresh_sample
+        batcher = MicroBatcher(assigner, max_batch=64,
+                               flush_interval_s=5.0)  # only close flushes
+        futures = [
+            batcher.submit(downs[i], ups[i], timeout_s=JOIN_TIMEOUT_S)
+            for i in range(40)
+        ]
+        batcher.close()
+        for i, fut in enumerate(futures):
+            tier, group = fut.result(timeout=JOIN_TIMEOUT_S)
+            assert (tier, group) == assigner.assign_one(downs[i], ups[i])
+
+    def test_submit_after_close_raises(self, fits):
+        batcher = MicroBatcher(TierAssigner(fits[0]))
+        batcher.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(100.0, 5.0)
+
+    def test_concurrent_close_is_idempotent(self, fits):
+        batcher = MicroBatcher(TierAssigner(fits[0]))
+
+        def worker(_tid: int):
+            batcher.close()
+            return 1
+
+        assert sum(_run_threads(worker)) == N_THREADS
