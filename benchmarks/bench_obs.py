@@ -1,0 +1,122 @@
+"""Observability benchmarks: the cost of windowed instruments.
+
+Asserts the windowed-telemetry contract from docs/OBSERVABILITY.md:
+keeping ring-bucket windows next to the cumulative values must cost at
+most **3x** the cumulative-only write path, for both counter
+increments and histogram observations -- the serving tier updates these
+on every request, so the window machinery has to stay O(1) and cheap.
+
+Emits ``BENCH_obs.json`` (via :func:`repro.obs.runs.record_bench`) so
+``repro obs check`` tracks instrumentation-cost regressions alongside
+the other benchmarks.  Run with ``-s`` to see the timing table::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs.py -q -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.obs import use_registry
+from repro.obs.metrics import Counter, Histogram, render_prometheus
+from repro.obs.runs import record_bench
+
+OBS_N = int(os.environ.get("REPRO_BENCH_OBS_N", "200000"))
+MAX_WINDOWED_RATIO = 3.0
+
+
+def _time_counter(windowed: bool, n: int) -> float:
+    c = Counter("bench.count", windowed=windowed)
+    t0 = time.perf_counter()
+    for _ in range(n):
+        c.inc()
+    return time.perf_counter() - t0
+
+
+def _time_histogram(windowed: bool, n: int) -> float:
+    h = Histogram("bench.lat", windowed=windowed)
+    t0 = time.perf_counter()
+    for i in range(n):
+        h.observe(i * 1e-6)
+    return time.perf_counter() - t0
+
+
+def test_windowed_overhead_within_bound(benchmark):
+    """Windowed write path <= 3x the cumulative-only write path."""
+    # Warm-up pass so allocator/JIT-cache effects hit neither side.
+    _time_counter(True, 1_000)
+    _time_histogram(True, 1_000)
+
+    t0 = time.perf_counter()
+    counter_plain_s = _time_counter(False, OBS_N)
+    counter_windowed_s = _time_counter(True, OBS_N)
+    hist_plain_s = _time_histogram(False, OBS_N)
+    hist_windowed_s = _time_histogram(True, OBS_N)
+    counter_ratio = counter_windowed_s / counter_plain_s
+    hist_ratio = hist_windowed_s / hist_plain_s
+
+    # Reads stay bounded too: a /metrics render over a busy registry.
+    with use_registry() as registry:
+        for i in range(10_000):
+            registry.counter("serve.requests").inc()
+            registry.histogram("serve.request_latency_s").observe(
+                i * 1e-6
+            )
+        t_render = time.perf_counter()
+        text = render_prometheus(registry, window_s=60.0)
+        render_s = time.perf_counter() - t_render
+        registry.gauge("obs.bench.counter_ratio").set(counter_ratio)
+        registry.gauge("obs.bench.hist_ratio").set(hist_ratio)
+    wall_s = time.perf_counter() - t0
+
+    record_bench(
+        "obs",
+        wall_s=wall_s,
+        registry=registry,
+        results={
+            "counter_plain_ns": counter_plain_s / OBS_N * 1e9,
+            "counter_windowed_ns": counter_windowed_s / OBS_N * 1e9,
+            "counter_ratio": counter_ratio,
+            "hist_plain_ns": hist_plain_s / OBS_N * 1e9,
+            "hist_windowed_ns": hist_windowed_s / OBS_N * 1e9,
+            "hist_ratio": hist_ratio,
+            "render_prometheus_ms": render_s * 1e3,
+        },
+        params={"n": OBS_N, "max_ratio": MAX_WINDOWED_RATIO},
+        seed=0,
+    )
+
+    print()
+    print(f"-- windowed instrument overhead (n={OBS_N}) --")
+    print(
+        f"counter inc:     plain {counter_plain_s / OBS_N * 1e9:7.1f} ns"
+        f"  windowed {counter_windowed_s / OBS_N * 1e9:7.1f} ns"
+        f"  ({counter_ratio:.2f}x)"
+    )
+    print(
+        f"histogram obs:   plain {hist_plain_s / OBS_N * 1e9:7.1f} ns"
+        f"  windowed {hist_windowed_s / OBS_N * 1e9:7.1f} ns"
+        f"  ({hist_ratio:.2f}x)"
+    )
+    print(
+        f"render /metrics: {render_s * 1e3:.2f} ms "
+        f"({len(text.splitlines())} lines)"
+    )
+
+    assert counter_ratio <= MAX_WINDOWED_RATIO, (
+        f"windowed counter costs {counter_ratio:.2f}x plain "
+        f"(> {MAX_WINDOWED_RATIO}x)"
+    )
+    assert hist_ratio <= MAX_WINDOWED_RATIO, (
+        f"windowed histogram costs {hist_ratio:.2f}x plain "
+        f"(> {MAX_WINDOWED_RATIO}x)"
+    )
+    assert render_s < 1.0, f"/metrics render took {render_s:.2f} s"
+
+    # pytest-benchmark records the windowed counter write path.
+    benchmark.pedantic(
+        lambda: _time_counter(True, 10_000),
+        rounds=3,
+        iterations=1,
+    )

@@ -15,7 +15,8 @@ Subcommands cover the full reproduction workflow:
 - ``repro assign``: one-shot batch assignment from a registry (fit and
   register on miss; warm runs skip the fit entirely).
 - ``repro obs``: inspect the run ledger (``runs`` / ``show`` / ``diff`` /
-  ``check``).
+  ``check``) or watch a live server (``watch`` polls ``/metrics`` +
+  ``/healthz`` and renders a refreshing telemetry table).
 - ``repro lint``: static analysis of the source tree against the repo's
   own invariants -- determinism, correctness, observability naming, lock
   discipline (see docs/ANALYSIS.md).
@@ -250,6 +251,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--n", type=int, default=20_000,
         help="training sample size when the city's model must be fitted",
     )
+    serve.add_argument(
+        "--trace-sample", type=float, default=1.0, metavar="RATE",
+        help="fraction of requests that get a serve.request span "
+             "(trace ids are always issued)",
+    )
+    serve.add_argument(
+        "--alert-rules", default=None, metavar="FILE.json",
+        help="alert rules (see docs/ALERTING.md; default: built-in "
+             "serve rules)",
+    )
+    serve.add_argument(
+        "--alert-log", default="results/alerts.jsonl",
+        metavar="FILE.jsonl",
+        help="append alert transitions as JSON lines ('off' disables)",
+    )
+    serve.add_argument(
+        "--alert-interval", type=float, default=1.0, metavar="SECONDS",
+        help="alert evaluation period (<= 0 disables the evaluator)",
+    )
     _add_seed(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -383,6 +403,30 @@ def build_parser() -> argparse.ArgumentParser:
              "moves by more than ABS from the baseline mean",
     )
     obs_check.set_defaults(func=_cmd_obs_check, ledger_exempt=True)
+
+    obs_watch = obs_sub.add_parser(
+        "watch",
+        parents=obs,
+        help="poll a live server's /metrics + /healthz and render a "
+             "refreshing telemetry table",
+    )
+    obs_watch.add_argument(
+        "--url", required=True, metavar="http://HOST:PORT",
+        help="base URL of a running `repro serve` instance",
+    )
+    obs_watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between polls",
+    )
+    obs_watch.add_argument(
+        "--count", type=int, default=0, metavar="N",
+        help="stop after N snapshots (0 = run until interrupted)",
+    )
+    obs_watch.add_argument(
+        "--no-clear", action="store_true",
+        help="append snapshots instead of clearing the screen",
+    )
+    obs_watch.set_defaults(func=_cmd_obs_watch, ledger_exempt=True)
 
     return parser
 
@@ -560,9 +604,18 @@ def _cmd_serve(args) -> int:
         contextualize(
             tests, catalog, registry=registry, city=args.city, jobs=args.jobs
         )
+    alert_log = args.alert_log if args.alert_log != "off" else None
     server = build_server(
         registry,
-        ServeConfig(host=args.host, port=args.port, default_city=args.city),
+        ServeConfig(
+            host=args.host,
+            port=args.port,
+            default_city=args.city,
+            trace_sample_rate=args.trace_sample,
+            alert_rules_path=args.alert_rules,
+            alert_log=alert_log,
+            alert_interval_s=args.alert_interval,
+        ),
     )
     host, port = server.server_address[:2]
     # The smoke test and tooling parse this line to find the bound port.
@@ -955,6 +1008,26 @@ def _cmd_obs_check(args) -> int:
             print(f"  FAIL {failure}")
         return 1
     print(f"{label}: ok ({checks} checks)")
+    return 0
+
+
+def _cmd_obs_watch(args) -> int:
+    from repro.obs.watch import watch
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(args.url)
+    try:
+        watch(
+            client,
+            interval_s=max(args.interval, 0.1),
+            max_polls=max(args.count, 0),
+            clear=not args.no_clear,
+        )
+    except KeyboardInterrupt:
+        print()  # leave the last snapshot intact
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

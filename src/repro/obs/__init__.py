@@ -30,13 +30,20 @@ from repro.obs.trace import (
     Span,
     SpanCollector,
     current_span,
+    current_trace_id,
     get_collector,
+    new_trace_id,
     set_collector,
+    should_sample,
     span,
     use_collector,
+    use_trace_id,
 )
 
 __all__ = [
+    "AlertEngine",
+    "AlertEvaluator",
+    "AlertRule",
     "MetricsRegistry",
     "ProfileReport",
     "QualityMonitor",
@@ -48,27 +55,40 @@ __all__ = [
     "SpanCollector",
     "configure_logging",
     "current_span",
+    "current_trace_id",
+    "default_serve_rules",
     "get_collector",
     "get_logger",
     "get_quality",
     "get_registry",
     "kv",
+    "load_rules",
+    "new_trace_id",
     "profile_block",
     "set_collector",
     "set_quality",
     "set_registry",
+    "should_sample",
     "span",
     "use_collector",
     "use_quality",
     "use_registry",
+    "use_trace_id",
 ]
 
 _RUNS_EXPORTS = ("RunLedger", "RunManifest", "RunRecorder")
+_ALERTS_EXPORTS = (
+    "AlertEngine",
+    "AlertEvaluator",
+    "AlertRule",
+    "default_serve_rules",
+    "load_rules",
+)
 
 
 def __getattr__(name: str):
     # cProfile/pstats load only when profiling is actually requested;
-    # the run-ledger machinery loads only when a manifest is recorded.
+    # the run-ledger and alerting machinery load only on first use.
     if name in ("profile_block", "ProfileReport"):
         from repro.obs import profile as _profile
 
@@ -77,4 +97,8 @@ def __getattr__(name: str):
         from repro.obs import runs as _runs
 
         return getattr(_runs, name)
+    if name in _ALERTS_EXPORTS:
+        from repro.obs import alerts as _alerts
+
+        return getattr(_alerts, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -16,17 +16,37 @@ when nobody is listening.  Install a :class:`MetricsRegistry` (via
 turns the aggregate into the plain-text summary the CLI prints under
 ``--metrics``.
 
+Counters and histograms additionally keep **windowed** state: a ring of
+tick-stamped one-second buckets (default horizon 300 s) so callers can
+ask for rate-over-window and windowed quantiles — "requests/s over the
+last minute", "p95 latency over the last minute" — next to the
+cumulative-since-start values::
+
+    obs_metrics.counter("serve.requests").rate(window_s=60.0)
+    obs_metrics.histogram("serve.request_latency_s").window_percentile(
+        0.95, window_s=60.0
+    )
+
+Writes stay O(1): a bucket is lazily reset the first time a new tick
+lands in its slot, so there is no background sweeper thread.  Reads walk
+the ring (at most ``horizon_s / bucket_s`` slots).  Instruments accept
+an injectable ``clock`` callable (default ``time.monotonic``) so tests
+can drive window expiry deterministically.
+
 Naming convention: ``<module>.<quantity>`` (e.g. ``em.iterations``,
 ``kde.peaks_found``, ``ndt_join.unmatched``); see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
+import math
 import random
+import re
 import threading
+import time
 import zlib
 from contextlib import contextmanager
-from typing import Any, Iterator
+from typing import Any, Callable, Iterator
 
 __all__ = [
     "Counter",
@@ -37,26 +57,169 @@ __all__ = [
     "gauge",
     "get_registry",
     "histogram",
+    "parse_prometheus_text",
+    "render_prometheus",
     "set_registry",
     "use_registry",
 ]
 
+#: Default look-back horizon retained by windowed instruments.
+WINDOW_HORIZON_S = 300.0
+#: Width of one ring bucket.
+WINDOW_BUCKET_S = 1.0
+#: Default window used when callers do not pass ``window_s``.
+DEFAULT_WINDOW_S = 60.0
+#: Per-bucket cap on retained raw samples for windowed quantiles.
+WINDOW_BUCKET_SAMPLES = 32
+
+
+class _CounterRing:
+    """Ring of tick-stamped bucket sums backing ``Counter`` windows.
+
+    Not itself locked: the owning instrument mutates it under its own
+    ``_lock``.  A slot is valid only while its stored tick matches the
+    tick that maps to it; stale slots are reset on write and skipped on
+    read, so idle periods cost nothing.
+    """
+
+    __slots__ = ("bucket_s", "n_buckets", "_sums", "_ticks", "_clock")
+
+    def __init__(
+        self,
+        bucket_s: float = WINDOW_BUCKET_S,
+        horizon_s: float = WINDOW_HORIZON_S,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.bucket_s = float(bucket_s)
+        self.n_buckets = max(1, int(round(horizon_s / self.bucket_s)))
+        self._sums = [0.0] * self.n_buckets
+        self._ticks = [-1] * self.n_buckets
+        self._clock = clock if clock is not None else time.monotonic
+
+    def add(self, amount: float) -> None:
+        tick = int(self._clock() / self.bucket_s)
+        slot = tick % self.n_buckets
+        if self._ticks[slot] != tick:
+            self._ticks[slot] = tick
+            self._sums[slot] = 0.0
+        self._sums[slot] += amount
+
+    def total(self, window_s: float) -> float:
+        """Sum of amounts recorded within the trailing ``window_s``."""
+        now_tick = int(self._clock() / self.bucket_s)
+        width = max(1, int(round(window_s / self.bucket_s)))
+        width = min(width, self.n_buckets)
+        lo = now_tick - width
+        return sum(
+            s
+            for s, t in zip(self._sums, self._ticks)
+            if lo < t <= now_tick
+        )
+
+
+class _HistogramRing:
+    """Ring of tick-stamped bucket summaries backing ``Histogram`` windows.
+
+    Each live bucket keeps an exact count/total plus a capped sample
+    list (:data:`WINDOW_BUCKET_SAMPLES`) from which windowed quantiles
+    are estimated.  Mutated only under the owning instrument's lock.
+    """
+
+    __slots__ = (
+        "bucket_s", "n_buckets", "sample_cap",
+        "_ticks", "_counts", "_totals", "_samples", "_clock",
+    )
+
+    def __init__(
+        self,
+        bucket_s: float = WINDOW_BUCKET_S,
+        horizon_s: float = WINDOW_HORIZON_S,
+        sample_cap: int = WINDOW_BUCKET_SAMPLES,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
+        self.bucket_s = float(bucket_s)
+        self.n_buckets = max(1, int(round(horizon_s / self.bucket_s)))
+        self.sample_cap = int(sample_cap)
+        self._ticks = [-1] * self.n_buckets
+        self._counts = [0] * self.n_buckets
+        self._totals = [0.0] * self.n_buckets
+        self._samples: list[list[float]] = [[] for _ in range(self.n_buckets)]
+        self._clock = clock if clock is not None else time.monotonic
+
+    def add(self, value: float, rng: random.Random) -> None:
+        tick = int(self._clock() / self.bucket_s)
+        slot = tick % self.n_buckets
+        if self._ticks[slot] != tick:
+            self._ticks[slot] = tick
+            self._counts[slot] = 0
+            self._totals[slot] = 0.0
+            self._samples[slot] = []
+        self._counts[slot] += 1
+        self._totals[slot] += value
+        samples = self._samples[slot]
+        if len(samples) < self.sample_cap:
+            samples.append(value)
+        else:
+            # Algorithm R within the bucket: keep a uniform sample.
+            pick = rng.randrange(self._counts[slot])
+            if pick < self.sample_cap:
+                samples[pick] = value
+
+    def collect(self, window_s: float) -> tuple[int, float, list[float]]:
+        """``(count, total, samples)`` for the trailing ``window_s``."""
+        now_tick = int(self._clock() / self.bucket_s)
+        width = max(1, int(round(window_s / self.bucket_s)))
+        width = min(width, self.n_buckets)
+        lo = now_tick - width
+        count = 0
+        total = 0.0
+        samples: list[float] = []
+        for slot in range(self.n_buckets):
+            t = self._ticks[slot]
+            if lo < t <= now_tick:
+                count += self._counts[slot]
+                total += self._totals[slot]
+                samples.extend(self._samples[slot])
+        return count, total, samples
+
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count with an optional trailing window."""
 
-    __slots__ = ("name", "value", "_lock")
+    __slots__ = ("name", "value", "_lock", "_ring")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        windowed: bool = True,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         self.name = name
         self.value = 0.0
         self._lock = threading.Lock()
+        self._ring = _CounterRing(clock=clock) if windowed else None
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a gauge")
         with self._lock:
             self.value += amount
+            if self._ring is not None:
+                self._ring.add(amount)
+
+    def window_sum(self, window_s: float = DEFAULT_WINDOW_S) -> float:
+        """Amount added during the trailing ``window_s`` seconds."""
+        with self._lock:
+            if self._ring is None:
+                return 0.0
+            return self._ring.total(window_s)
+
+    def rate(self, window_s: float = DEFAULT_WINDOW_S) -> float:
+        """Increments per second over the trailing ``window_s``."""
+        window_s = float(window_s)
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        return self.window_sum(window_s) / window_s
 
 
 class Gauge:
@@ -87,10 +250,15 @@ class Histogram:
 
     __slots__ = (
         "name", "count", "total", "min", "max",
-        "_reservoir", "_rng", "_lock",
+        "_reservoir", "_rng", "_lock", "_wring",
     )
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self,
+        name: str,
+        windowed: bool = True,
+        clock: Callable[[], float] | None = None,
+    ) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
@@ -99,6 +267,7 @@ class Histogram:
         self._reservoir: list[float] = []
         self._rng = random.Random(zlib.crc32(name.encode("utf-8")))
         self._lock = threading.Lock()
+        self._wring = _HistogramRing(clock=clock) if windowed else None
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -116,6 +285,59 @@ class Histogram:
                 slot = self._rng.randrange(self.count)
                 if slot < self.RESERVOIR_CAPACITY:
                     self._reservoir[slot] = value
+            if self._wring is not None:
+                self._wring.add(value, self._rng)
+
+    def window_snapshot(
+        self, window_s: float = DEFAULT_WINDOW_S
+    ) -> dict[str, float]:
+        """Summary of observations in the trailing ``window_s``.
+
+        ``count``/``total``/``mean`` are exact; ``min``/``max`` and the
+        quantiles are estimated from the per-bucket samples (exact while
+        each bucket saw at most :data:`WINDOW_BUCKET_SAMPLES` values).
+        """
+        with self._lock:
+            if self._wring is None:
+                count, total, samples = 0, 0.0, []
+            else:
+                count, total, samples = self._wring.collect(window_s)
+        samples.sort()
+
+        def q(frac: float) -> float:
+            if not samples:
+                return float("nan")
+            rank = min(
+                len(samples) - 1, max(0, round(frac * (len(samples) - 1)))
+            )
+            return samples[int(rank)]
+
+        return {
+            "count": float(count),
+            "total": total,
+            "mean": total / count if count else float("nan"),
+            "min": samples[0] if samples else float("nan"),
+            "max": samples[-1] if samples else float("nan"),
+            "p50": q(0.50),
+            "p95": q(0.95),
+            "p99": q(0.99),
+        }
+
+    def window_percentile(
+        self, q: float, window_s: float = DEFAULT_WINDOW_S
+    ) -> float:
+        """Estimated ``q``-quantile over the trailing ``window_s``."""
+        with self._lock:
+            if self._wring is None:
+                return float("nan")
+            _, _, samples = self._wring.collect(window_s)
+        if not samples:
+            return float("nan")
+        samples.sort()
+        rank = min(
+            len(samples) - 1, max(0, round(q * (len(samples) - 1)))
+        )
+        return samples[int(rank)]
 
     @property
     def mean(self) -> float:
@@ -201,6 +423,26 @@ class _NullInstrument:
     def observe(self, value: float) -> None:
         pass
 
+    def window_sum(self, window_s: float = DEFAULT_WINDOW_S) -> float:
+        return 0.0
+
+    def rate(self, window_s: float = DEFAULT_WINDOW_S) -> float:
+        return 0.0
+
+    def window_snapshot(
+        self, window_s: float = DEFAULT_WINDOW_S
+    ) -> dict[str, float]:
+        nan = float("nan")
+        return {
+            "count": 0.0, "total": 0.0, "mean": nan, "min": nan,
+            "max": nan, "p50": nan, "p95": nan, "p99": nan,
+        }
+
+    def window_percentile(
+        self, q: float, window_s: float = DEFAULT_WINDOW_S
+    ) -> float:
+        return float("nan")
+
 
 _NULL_INSTRUMENT = _NullInstrument()
 
@@ -221,12 +463,18 @@ class _NullRegistry:
 
 
 class MetricsRegistry:
-    """Thread-safe named-instrument store."""
+    """Thread-safe named-instrument store.
+
+    ``clock`` (default ``time.monotonic``) is handed to every created
+    instrument's window ring; inject a fake clock to step windows
+    deterministically in tests.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
         self._lock = threading.Lock()
+        self._clock = clock
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
@@ -235,7 +483,9 @@ class MetricsRegistry:
         with self._lock:
             inst = self._counters.get(name)
             if inst is None:
-                inst = self._counters[name] = Counter(name)
+                inst = self._counters[name] = Counter(
+                    name, clock=self._clock
+                )
             return inst
 
     def gauge(self, name: str) -> Gauge:
@@ -249,8 +499,21 @@ class MetricsRegistry:
         with self._lock:
             inst = self._histograms.get(name)
             if inst is None:
-                inst = self._histograms[name] = Histogram(name)
+                inst = self._histograms[name] = Histogram(
+                    name, clock=self._clock
+                )
             return inst
+
+    def instruments(
+        self,
+    ) -> tuple[dict[str, Counter], dict[str, Gauge], dict[str, Histogram]]:
+        """``(counters, gauges, histograms)`` snapshot, without creating."""
+        with self._lock:
+            return (
+                dict(self._counters),
+                dict(self._gauges),
+                dict(self._histograms),
+            )
 
     def snapshot(self) -> dict[str, dict[str, float]]:
         """Plain-dict view of every instrument (for tests / JSON export)."""
@@ -394,3 +657,127 @@ def gauge(name: str):
 def histogram(name: str):
     """The named histogram in the active registry."""
     return _registry.histogram(name)
+
+
+def _prom_name(name: str) -> str:
+    """A dotted instrument name as a Prometheus metric name."""
+    out = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_value(value: float) -> str:
+    value = float(value)
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return format(value, ".10g")
+
+
+def render_prometheus(
+    registry: MetricsRegistry | _NullRegistry,
+    window_s: float = DEFAULT_WINDOW_S,
+) -> str:
+    """Prometheus text exposition (v0.0.4) of every instrument.
+
+    Cumulative counters render as ``<name>_total``; windowed rates as a
+    ``<name>_rate`` gauge labelled with the window.  Histograms render
+    as summaries (cumulative quantiles from the reservoir) plus
+    ``<name>_window*`` gauges for the trailing-window view.  Instruments
+    created with ``windowed=False`` skip the windowed families.
+    """
+    window_label = f'window="{format(float(window_s), "g")}s"'
+    lines: list[str] = []
+    counters, gauges, histograms = (
+        registry.instruments()
+        if isinstance(registry, MetricsRegistry)
+        else ({}, {}, {})
+    )
+    for name in sorted(counters):
+        c = counters[name]
+        base = _prom_name(name)
+        lines.append(f"# TYPE {base}_total counter")
+        lines.append(f"{base}_total {_prom_value(c.value)}")
+        if c._ring is not None:
+            lines.append(f"# TYPE {base}_rate gauge")
+            lines.append(
+                f"{base}_rate{{{window_label}}} "
+                f"{_prom_value(c.rate(window_s))}"
+            )
+    for name in sorted(gauges):
+        g = gauges[name]
+        base = _prom_name(name)
+        lines.append(f"# TYPE {base} gauge")
+        lines.append(f"{base} {_prom_value(g.value)}")
+    for name in sorted(histograms):
+        h = histograms[name]
+        base = _prom_name(name)
+        lines.append(f"# TYPE {base} summary")
+        for q in (0.5, 0.95, 0.99):
+            lines.append(
+                f'{base}{{quantile="{q}"}} '
+                f"{_prom_value(h.percentile(q))}"
+            )
+        lines.append(f"{base}_sum {_prom_value(h.total)}")
+        lines.append(f"{base}_count {_prom_value(h.count)}")
+        if h._wring is not None:
+            snap = h.window_snapshot(window_s)
+            lines.append(f"# TYPE {base}_window gauge")
+            for q in ("0.5", "0.95", "0.99"):
+                key = {"0.5": "p50", "0.95": "p95", "0.99": "p99"}[q]
+                lines.append(
+                    f'{base}_window{{{window_label},quantile="{q}"}} '
+                    f"{_prom_value(snap[key])}"
+                )
+            lines.append(f"# TYPE {base}_window_count gauge")
+            lines.append(
+                f"{base}_window_count{{{window_label}}} "
+                f"{_prom_value(snap['count'])}"
+            )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+_PROM_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+\d+)?$"
+)
+_PROM_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(
+    text: str,
+) -> dict[str, list[tuple[dict[str, str], float]]]:
+    """Parse Prometheus text exposition into ``{name: [(labels, value)]}``.
+
+    Strict enough for round-trip tests and the smoke gate: any
+    non-comment, non-blank line that fails the sample grammar raises
+    ``ValueError``.
+    """
+    out: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _PROM_LINE.match(line)
+        if match is None:
+            raise ValueError(
+                f"malformed exposition line {lineno}: {raw!r}"
+            )
+        labels = {
+            key: value.replace('\\"', '"').replace("\\\\", "\\")
+            for key, value in _PROM_LABEL.findall(
+                match.group("labels") or ""
+            )
+        }
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ValueError(
+                f"malformed sample value on line {lineno}: {raw!r}"
+            ) from exc
+        out.setdefault(match.group("name"), []).append((labels, value))
+    return out

@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import itertools
 import json
+import os
 import threading
 import time
+import zlib
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
@@ -38,11 +40,15 @@ __all__ = [
     "Span",
     "SpanCollector",
     "current_span",
+    "current_trace_id",
     "get_collector",
     "new_span_id",
+    "new_trace_id",
     "set_collector",
+    "should_sample",
     "span",
     "use_collector",
+    "use_trace_id",
 ]
 
 _ids = itertools.count(1)  # itertools.count is atomic under CPython's GIL
@@ -51,6 +57,52 @@ _ids = itertools.count(1)  # itertools.count is atomic under CPython's GIL
 def new_span_id() -> int:
     """A fresh process-unique span id (for adopting foreign spans)."""
     return next(_ids)
+
+
+_trace_id: ContextVar[str | None] = ContextVar(
+    "repro_obs_trace_id", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char request trace id.
+
+    Trace ids label individual requests for log/span correlation; they
+    are intentionally non-deterministic so concurrent servers never
+    collide, and nothing in the pipeline's numeric output depends on
+    them.
+    """
+    return os.urandom(8).hex()  # lint: allow[DET003] correlation id, not results
+
+
+def current_trace_id() -> str | None:
+    """The trace id bound to this context, or None outside a request."""
+    return _trace_id.get()
+
+
+@contextmanager
+def use_trace_id(trace_id: str | None) -> Iterator[str | None]:
+    """Bind ``trace_id`` to the current context for the block's duration."""
+    token = _trace_id.set(trace_id)
+    try:
+        yield trace_id
+    finally:
+        _trace_id.reset(token)
+
+
+def should_sample(trace_id: str, rate: float) -> bool:
+    """Deterministic per-trace sampling decision at ``rate`` (0..1).
+
+    Hashes the trace id, so every participant in a request agrees on
+    the decision without coordination, and a given id always samples
+    the same way (stable across processes).
+    """
+    if rate >= 1.0:
+        return True
+    if rate <= 0.0:
+        return False
+    bucket = zlib.crc32(trace_id.encode("utf-8")) % 10_000
+    return bucket < rate * 10_000
 
 
 @dataclass

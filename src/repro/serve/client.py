@@ -2,9 +2,11 @@
 
 A small ``urllib``-based wrapper over the HTTP API in
 :mod:`repro.serve.server` -- no third-party HTTP library.  Non-2xx
-responses raise :class:`ServeError` carrying the HTTP status and the
-server's ``error`` message, so callers can distinguish a bad request
-(400) from a missing model (404).
+responses raise :class:`ServeError` carrying the HTTP status plus the
+server's structured error body (``code`` / ``message`` / ``trace_id``),
+so callers can distinguish a bad request (400) from a missing model
+(404) and quote the trace id when reporting a failure.  Every call
+accepts a per-request ``timeout_s`` overriding the client default.
 """
 
 from __future__ import annotations
@@ -18,12 +20,29 @@ __all__ = ["ServeClient", "ServeError"]
 
 
 class ServeError(RuntimeError):
-    """A non-2xx response from the assignment service."""
+    """A non-2xx response from the assignment service.
 
-    def __init__(self, status: int, message: str):
-        super().__init__(f"HTTP {status}: {message}")
+    ``status`` is the HTTP status line; ``code`` / ``message`` /
+    ``trace_id`` mirror the server's JSON error body (``code`` falls
+    back to the HTTP status, ``trace_id`` is None when the server sent
+    none -- e.g. connection failures).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        code: int | None = None,
+        trace_id: str | None = None,
+    ):
+        detail = f"HTTP {status}: {message}"
+        if trace_id:
+            detail += f" [trace {trace_id}]"
+        super().__init__(detail)
         self.status = status
         self.message = message
+        self.code = status if code is None else int(code)
+        self.trace_id = trace_id
 
 
 class ServeClient:
@@ -47,6 +66,7 @@ class ServeClient:
         isp: str | None = None,
         config_hash: str | None = None,
         stream: bool = False,
+        timeout_s: float | None = None,
     ) -> dict[str, Any]:
         """POST ``/assign``; returns the decoded response payload."""
         payload: dict[str, Any] = {
@@ -61,7 +81,7 @@ class ServeClient:
             payload["config_hash"] = config_hash
         if stream:
             payload["stream"] = True
-        return self._request("POST", "/assign", payload)
+        return self._request("POST", "/assign", payload, timeout_s)
 
     def assign_one(
         self,
@@ -73,18 +93,39 @@ class ServeClient:
         out = self.assign([download], [upload], stream=True, **selectors)
         return int(out["tiers"][0]), str(out["group_labels"][0])
 
-    def models(self) -> list[dict[str, Any]]:
+    def models(self, timeout_s: float | None = None) -> list[dict[str, Any]]:
         """GET ``/models``; returns the registry records."""
-        return self._request("GET", "/models")["models"]
+        return self._request("GET", "/models", None, timeout_s)["models"]
 
-    def healthz(self) -> dict[str, Any]:
+    def healthz(self, timeout_s: float | None = None) -> dict[str, Any]:
         """GET ``/healthz``; returns the health document."""
-        return self._request("GET", "/healthz")
+        return self._request("GET", "/healthz", None, timeout_s)
+
+    def metrics_text(self, timeout_s: float | None = None) -> str:
+        """GET ``/metrics``; returns the raw Prometheus exposition text."""
+        return self._open("GET", "/metrics", None, timeout_s).decode(
+            "utf-8"
+        )
 
     # ------------------------------------------------------------------
     def _request(
-        self, method: str, path: str, payload: dict | None = None
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        timeout_s: float | None = None,
     ) -> Any:
+        return json.loads(
+            self._open(method, path, payload, timeout_s).decode("utf-8")
+        )
+
+    def _open(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None,
+        timeout_s: float | None,
+    ) -> bytes:
         url = f"{self.base_url}{path}"
         data = None
         headers = {"Accept": "application/json"}
@@ -94,18 +135,38 @@ class ServeClient:
         request = urllib.request.Request(
             url, data=data, headers=headers, method=method
         )
+        timeout = self.timeout_s if timeout_s is None else float(timeout_s)
         try:
             with urllib.request.urlopen(
-                request, timeout=self.timeout_s
+                request, timeout=timeout
             ) as response:
-                return json.loads(response.read().decode("utf-8"))
+                return response.read()
         except urllib.error.HTTPError as exc:
-            try:
-                message = json.loads(exc.read().decode("utf-8")).get(
-                    "error", exc.reason
-                )
-            except Exception:
-                message = str(exc.reason)
-            raise ServeError(exc.code, message) from exc
+            raise _serve_error(exc) from exc
         except urllib.error.URLError as exc:
-            raise ServeError(0, f"cannot reach {url}: {exc.reason}") from exc
+            raise ServeError(
+                0, f"cannot reach {url}: {exc.reason}"
+            ) from exc
+
+
+def _serve_error(exc: urllib.error.HTTPError) -> ServeError:
+    """Decode the server's JSON error body into a :class:`ServeError`.
+
+    Understands the structured ``{"error": {code, message, trace_id}}``
+    body, the legacy ``{"error": "<message>"}`` shape, and falls back
+    to the HTTP reason for non-JSON bodies (e.g. a proxy in the way).
+    """
+    code: int | None = None
+    trace_id: str | None = None
+    try:
+        body = json.loads(exc.read().decode("utf-8"))
+        error = body.get("error", exc.reason)
+        if isinstance(error, dict):
+            message = str(error.get("message", exc.reason))
+            code = error.get("code")
+            trace_id = error.get("trace_id")
+        else:
+            message = str(error)
+    except (ValueError, AttributeError, UnicodeDecodeError, OSError):
+        message = str(exc.reason)
+    return ServeError(exc.code, message, code=code, trace_id=trace_id)

@@ -37,7 +37,7 @@ from repro.core.bst import BSTResult
 from repro.obs import metrics as obs_metrics
 from repro.obs.logging import get_logger, kv
 from repro.obs.quality import get_quality
-from repro.obs.trace import span
+from repro.obs.trace import current_trace_id, span, use_trace_id
 from repro.stats.gmm import GaussianMixture, GMMFitResult
 from repro.stats.kmeans import KMeans1D, KMeansResult
 
@@ -195,6 +195,9 @@ class TierAssigner:
             isp=self.catalog.isp_name,
             n=int(downloads.size),
         ) as sp:
+            trace_id = current_trace_id()
+            if trace_id is not None:
+                sp.set(trace_id=trace_id)
             labels = self._upload_predict(uploads)
             group_indices = self._component_groups[labels]
             tiers = np.zeros(downloads.size, dtype=np.int64)
@@ -333,8 +336,10 @@ class MicroBatcher:
         if self._closed.is_set():
             raise RuntimeError("MicroBatcher is closed")
         fut: Future = Future()
+        # Capture the submitter's trace id: the flush happens on the
+        # worker thread, outside the request's context.
         self._queue.put(
-            (float(download), float(upload), fut),
+            (float(download), float(upload), fut, current_trace_id()),
             timeout=timeout_s,
         )
         return fut
@@ -366,7 +371,7 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------
     def _run(self) -> None:
-        pending: list[tuple[float, float, Future]] = []
+        pending: list[tuple[float, float, Future, str | None]] = []
         deadline = 0.0
         stop = False
         while not stop:
@@ -412,20 +417,43 @@ class MicroBatcher:
             )
             self._flush(batch)
 
-    def _flush(self, batch: Sequence[tuple[float, float, Future]]) -> None:
+    def _flush(
+        self, batch: Sequence[tuple[float, float, Future, str | None]]
+    ) -> None:
         downloads = np.asarray([item[0] for item in batch])
         uploads = np.asarray([item[1] for item in batch])
         obs_metrics.counter("serve.batch_flushes").inc()
         obs_metrics.histogram("serve.batch_size").observe(len(batch))
         try:
-            result = self.assigner.assign(downloads, uploads)
+            with use_trace_id(_batch_trace_label(batch)):
+                result = self.assigner.assign(downloads, uploads)
         except Exception as exc:  # propagate to every waiter
-            for _, _, fut in batch:
+            for _, _, fut, _ in batch:
                 if not fut.cancelled():
                     fut.set_exception(exc)
             return
-        for i, (_, _, fut) in enumerate(batch):
+        for i, (_, _, fut, _) in enumerate(batch):
             if not fut.cancelled():
                 fut.set_result(
                     (int(result.tiers[i]), int(result.group_indices[i]))
                 )
+
+
+def _batch_trace_label(
+    batch: Sequence[tuple[float, float, Future, str | None]],
+) -> str | None:
+    """A joint trace label for one flush: up to 4 ids, then ``+N``.
+
+    A flush serves many requests, so the ``serve.assign`` span gets a
+    composite id that still lets an operator find the contributing
+    requests.
+    """
+    unique = list(
+        dict.fromkeys(item[3] for item in batch if item[3] is not None)
+    )
+    if not unique:
+        return None
+    label = ",".join(unique[:4])
+    if len(unique) > 4:
+        label += f"+{len(unique) - 4}"
+    return label

@@ -10,16 +10,28 @@ framework) exposing
 - ``GET /models``  -- the registry's records (staleness metadata
   included);
 - ``GET /healthz`` -- liveness plus request counters, loaded-model
-  count, and per-model drift status.
+  count, per-model drift status, and active alerts;
+- ``GET /metrics`` -- Prometheus text exposition of the service's
+  dedicated registry (cumulative totals plus windowed rates and
+  latency quantiles; see docs/ALERTING.md).
 
-Every request runs under a ``serve.request`` span and feeds the
-``serve.requests`` / ``serve.errors`` counters and the
-``serve.request_latency_s`` histogram.  Incoming tuples also stream
-into a dedicated :class:`~repro.obs.quality.QualityMonitor`; the drift
-check compares each model's observed download/upload means against the
+Every request gets a fresh ``trace_id`` (echoed in the ``X-Trace-Id``
+response header, ``/assign`` responses, and error JSON) and — when the
+id passes the ``trace_sample_rate`` coin — runs under a
+``serve.request`` span carrying ``method`` / ``path`` / ``status`` /
+``trace_id``.  Requests feed the ``serve.requests`` counter, the
+``serve.errors`` (+ per-class ``serve.errors_4xx`` / ``serve.errors_5xx``)
+counters, and per-endpoint / per-status-class latency histograms, into
+both the process-global registry (when observability is on) and a
+dedicated always-on :class:`~repro.obs.metrics.MetricsRegistry` that
+backs ``/metrics``.  Incoming tuples also stream into a dedicated
+:class:`~repro.obs.quality.QualityMonitor`; the drift check compares
+each model's observed download/upload means against the
 ``training_stats`` recorded at registration and flags models whose
 traffic has moved more than ``drift_rel_threshold`` (relative) after
-``drift_min_samples`` observations.
+``drift_min_samples`` observations.  An :class:`~repro.obs.alerts.
+AlertEngine` evaluates declarative rules over the windowed metrics and
+the drift verdicts on a background loop.
 
 Shutdown is graceful: ``serve_until_shutdown`` installs
 SIGTERM/SIGINT handlers that stop the accept loop, then drains
@@ -41,9 +53,16 @@ from typing import Any
 import numpy as np
 
 from repro.obs import metrics as obs_metrics
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertEvaluator,
+    default_serve_rules,
+    load_rules,
+)
 from repro.obs.logging import get_logger, kv
+from repro.obs.metrics import MetricsRegistry, render_prometheus
 from repro.obs.quality import QualityMonitor
-from repro.obs.trace import span
+from repro.obs.trace import new_trace_id, should_sample, span, use_trace_id
 from repro.serve.engine import MicroBatcher, TierAssigner
 from repro.serve.registry import ModelKey, ModelRecord, ModelRegistry
 
@@ -72,6 +91,11 @@ class ServeConfig:
     micro_batch: int = 256
     micro_flush_interval_s: float = 0.005
     micro_max_pending: int = 4096
+    trace_sample_rate: float = 1.0  # fraction of requests spanned
+    metrics_window_s: float = 60.0  # window rendered by GET /metrics
+    alert_interval_s: float = 1.0  # evaluator period; <= 0 disables
+    alert_log: str | None = None  # JSONL transition log path
+    alert_rules_path: str | None = None  # JSON rules; None -> defaults
 
 
 @dataclass
@@ -98,12 +122,35 @@ class AssignmentService:
         self.config = config
         self._lock = threading.Lock()
         self._loaded: dict[str, _LoadedModel] = {}
-        # Dedicated monitor: the service watches its own traffic even
-        # when global observability is off.
+        # Dedicated monitor and registry: the service watches its own
+        # traffic even when global observability is off; the registry
+        # backs GET /metrics and the alert engine.
         self.quality = QualityMonitor()
+        self.metrics = MetricsRegistry()
+        rules = (
+            load_rules(config.alert_rules_path)
+            if config.alert_rules_path
+            else default_serve_rules()
+        )
+        self.alerts = AlertEngine(
+            rules,
+            registry=self.metrics,
+            drift_provider=self.drift_status,
+            log_path=config.alert_log,
+        )
+        self._evaluator: AlertEvaluator | None = None
         self._started = time.monotonic()
         self.n_requests = 0
         self.n_errors = 0
+
+    def start_alerting(self) -> None:
+        """Start the background alert evaluator (idempotent)."""
+        if self.config.alert_interval_s <= 0:
+            return
+        if self._evaluator is None:
+            self._evaluator = AlertEvaluator(
+                self.alerts, interval_s=self.config.alert_interval_s
+            ).start()
 
     # -- model resolution ------------------------------------------------
     def resolve(
@@ -148,6 +195,7 @@ class AssignmentService:
             loaded = self._loaded.setdefault(key.slug, loaded)
             n_loaded = len(self._loaded)
         obs_metrics.gauge("serve.models_loaded").set(n_loaded)
+        self.metrics.gauge("serve.models_loaded").set(n_loaded)
         return loaded
 
     def batcher_for(self, loaded: _LoadedModel) -> MicroBatcher:
@@ -265,6 +313,7 @@ class AssignmentService:
                 }
             if drifted:
                 obs_metrics.counter("serve.drift_flags").inc()
+                self.metrics.counter("serve.drift_flags").inc()
                 log.warning(
                     "serving traffic drifted from training distribution",
                     extra=kv(model=model.key.slug),
@@ -283,11 +332,38 @@ class AssignmentService:
         """Count a request (handler threads; ``+=`` alone is not atomic)."""
         with self._lock:
             self.n_requests += 1
+        obs_metrics.counter("serve.requests").inc()
+        self.metrics.counter("serve.requests").inc()
 
     def record_error(self) -> None:
         """Count a failed request (handler threads)."""
         with self._lock:
             self.n_errors += 1
+        obs_metrics.counter("serve.errors").inc()
+        self.metrics.counter("serve.errors").inc()
+
+    def observe_http(
+        self, endpoint: str, status: int, elapsed_s: float
+    ) -> None:
+        """Feed one finished request into the latency/status instruments.
+
+        Writes to both the dedicated registry (always on, backs
+        ``/metrics``) and the process-global one (a no-op unless the
+        CLI installed a registry).
+        """
+        status_class = f"{status // 100}xx"
+        for registry in (self.metrics, obs_metrics.get_registry()):
+            registry.histogram("serve.request_latency_s").observe(
+                elapsed_s
+            )
+            registry.histogram(f"serve.latency.{endpoint}").observe(
+                elapsed_s
+            )
+            registry.counter(f"serve.status.{status_class}").inc()
+            if status >= 500:
+                registry.counter("serve.errors_5xx").inc()
+            elif status >= 400:
+                registry.counter("serve.errors_4xx").inc()
 
     def health(self) -> dict[str, Any]:
         with self._lock:
@@ -302,6 +378,12 @@ class AssignmentService:
             "requests": n_requests,
             "errors": n_errors,
             "drift": self.drift_status(),
+            # counts() first: its "active" tally is superseded by the
+            # full list of active alerts.
+            "alerts": {
+                **self.alerts.counts(),
+                "active": self.alerts.active(),
+            },
         }
 
     def models(self) -> list[dict[str, Any]]:
@@ -313,7 +395,10 @@ class AssignmentService:
         ]
 
     def close(self) -> None:
-        """Drain and stop every model's micro-batcher."""
+        """Stop the alert loop, then drain every model's micro-batcher."""
+        if self._evaluator is not None:
+            self._evaluator.stop()
+            self._evaluator = None
         with self._lock:
             loaded = list(self._loaded.values())
         for model in loaded:
@@ -321,6 +406,14 @@ class AssignmentService:
                 if model.batcher is not None:
                     model.batcher.close()
                     model.batcher = None
+
+
+_ENDPOINT_SLUGS = {
+    "/assign": "assign",
+    "/healthz": "healthz",
+    "/models": "models",
+    "/metrics": "metrics",
+}
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -339,18 +432,38 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:
         log.debug("http " + format % args)
 
-    def _send_json(self, status: int, payload: dict | list) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _send_body(
+        self, status: int, body: bytes, content_type: str
+    ) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Trace-Id", self._trace_id)
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_json(self, status: int, payload: dict | list) -> None:
+        self._send_body(
+            status, json.dumps(payload).encode("utf-8"), "application/json"
+        )
+
     def _error(self, status: int, message: str) -> None:
         self.server.service.record_error()
-        obs_metrics.counter("serve.errors").inc()
-        self._send_json(status, {"error": message})
+        self._send_json(
+            status,
+            {
+                "error": {
+                    "code": status,
+                    "message": message,
+                    "trace_id": self._trace_id,
+                }
+            },
+        )
+
+    def _endpoint(self) -> str:
+        """Low-cardinality endpoint slug for per-endpoint instruments."""
+        return _ENDPOINT_SLUGS.get(self.path.split("?", 1)[0], "other")
 
     # -- routes ----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
@@ -362,21 +475,36 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle(self, route) -> None:
         service = self.server.service
         service.record_request()
-        obs_metrics.counter("serve.requests").inc()
+        self._trace_id = new_trace_id()
+        self._status = 500  # routes overwrite on every sent response
         start = time.perf_counter()
         try:
-            with span(
-                "serve.request",
-                method=self.command,
-                path=self.path.split("?", 1)[0],
-            ):
-                route()
+            with use_trace_id(self._trace_id):
+                if should_sample(
+                    self._trace_id, service.config.trace_sample_rate
+                ):
+                    obs_metrics.counter("serve.traces_sampled").inc()
+                    service.metrics.counter("serve.traces_sampled").inc()
+                    with span(
+                        "serve.request",
+                        method=self.command,
+                        path=self.path.split("?", 1)[0],
+                        trace_id=self._trace_id,
+                    ) as sp:
+                        route()
+                        sp.set(status=self._status)
+                else:
+                    route()
         except BrokenPipeError:
             pass  # client went away; nothing to send
         except Exception as exc:  # defensive: never kill the thread
             log.error(
                 "unhandled serving error",
-                extra=kv(path=self.path, error=repr(exc)),
+                extra=kv(
+                    path=self.path,
+                    error=repr(exc),
+                    trace_id=self._trace_id,
+                ),
             )
             try:
                 self._error(500, f"internal error: {exc}")
@@ -384,8 +512,10 @@ class _Handler(BaseHTTPRequestHandler):
             except Exception:
                 pass
         finally:
-            obs_metrics.histogram("serve.request_latency_s").observe(
-                time.perf_counter() - start
+            service.observe_http(
+                self._endpoint(),
+                self._status,
+                time.perf_counter() - start,
             )
 
     def _route_get(self) -> None:
@@ -395,6 +525,16 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(200, service.health())
         elif path == "/models":
             self._send_json(200, {"models": service.models()})
+        elif path == "/metrics":
+            text = render_prometheus(
+                service.metrics,
+                window_s=service.config.metrics_window_s,
+            )
+            self._send_body(
+                200,
+                text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         else:
             self._error(404, f"unknown path {path!r}")
 
@@ -428,6 +568,7 @@ class _Handler(BaseHTTPRequestHandler):
         except KeyError as exc:
             self._error(404, str(exc).strip("'\""))
             return
+        response["trace_id"] = self._trace_id
         self._send_json(200, response)
 
 
@@ -458,6 +599,7 @@ def build_server(
     """A ready-to-run server (``port=0`` binds an ephemeral port)."""
     config = config or ServeConfig()
     service = AssignmentService(registry, config)
+    service.start_alerting()
     return ServeServer((config.host, config.port), service)
 
 

@@ -1,0 +1,365 @@
+"""Alert rules and engine: validation, lifecycle, log, rule loading.
+
+Everything runs on injected fake clocks — the registry's window rings
+and the engine's hold timers share one clock, so firing and resolution
+are driven by explicit ``evaluate(...)`` calls, never by sleeps.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+
+import pytest
+
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertEvaluator,
+    AlertRule,
+    default_serve_rules,
+    load_rules,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+class FakeClock:
+    def __init__(self, t: float = 1_000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def _engine(rules, clock, **kwargs):
+    registry = MetricsRegistry(clock=clock)
+    return registry, AlertEngine(
+        rules, registry=registry, clock=clock, **kwargs
+    )
+
+
+class TestRuleValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError):
+            AlertRule(name="", metric="m")
+        with pytest.raises(ValueError):
+            AlertRule(name="r", kind="sorcery", metric="m")
+        with pytest.raises(ValueError):
+            AlertRule(name="r", metric="")  # threshold kinds need one
+        with pytest.raises(ValueError):
+            AlertRule(name="r", metric="m", stat="p42")
+        with pytest.raises(ValueError):
+            AlertRule(name="r", metric="m", op="~")
+        with pytest.raises(ValueError):
+            AlertRule(name="r", metric="m", severity="mild")
+        with pytest.raises(ValueError):
+            AlertRule(name="r", metric="m", window_s=0.0)
+
+    def test_drift_rules_need_no_metric(self):
+        rule = AlertRule(name="d", kind="drift", threshold=0.0)
+        assert "drifted models" in rule.describe()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown rule field"):
+            AlertRule.from_dict(
+                {"name": "r", "metric": "m", "treshold": 1.0}
+            )
+
+    def test_round_trips_through_dict(self):
+        rule = AlertRule(
+            name="r", metric="m", stat="p95", threshold=0.25
+        )
+        assert AlertRule.from_dict(rule.to_dict()) == rule
+
+    def test_engine_rejects_duplicate_names(self):
+        clock = FakeClock()
+        rule = AlertRule(name="dup", metric="m")
+        with pytest.raises(ValueError, match="duplicate"):
+            _engine([rule, rule], clock)
+
+
+class TestThresholdLifecycle:
+    def test_fire_dedup_and_resolve_with_hold(self):
+        clock = FakeClock()
+        rule = AlertRule(
+            name="err_rate",
+            metric="serve.errors_5xx",
+            stat="rate",
+            window_s=10.0,
+            op=">",
+            threshold=0.5,
+            resolve_hold_s=3.0,
+            severity="critical",
+        )
+        registry, engine = _engine([rule], clock)
+        # No data yet: the value is NaN and the rule stays quiet.
+        assert engine.evaluate() == []
+        registry.counter("serve.errors_5xx").inc(10)  # 1.0/s over 10 s
+        events = engine.evaluate()
+        assert [e["event"] for e in events] == ["fired"]
+        assert events[0]["rule"] == "err_rate"
+        assert events[0]["value"] == pytest.approx(1.0)
+        # Still breached: no duplicate fired events.
+        assert engine.evaluate() == []
+        assert engine.counts()["active"] == 1
+        # Window empties -> predicate clears, but the resolve hold
+        # keeps the alert active until it stays clear for 3 s.
+        clock.advance(20)
+        assert engine.evaluate() == []
+        assert engine.counts()["active"] == 1
+        clock.advance(3)
+        events = engine.evaluate()
+        assert [e["event"] for e in events] == ["resolved"]
+        assert engine.counts() == {
+            "fired": 1,
+            "active": 0,
+            "resolved": 1,
+            "evaluations": 5,
+        }
+
+    def test_min_hold_delays_firing(self):
+        clock = FakeClock()
+        rule = AlertRule(
+            name="slow_burn",
+            metric="c",
+            stat="rate",
+            window_s=30.0,
+            op=">",
+            threshold=0.1,
+            min_hold_s=5.0,
+        )
+        registry, engine = _engine([rule], clock)
+        registry.counter("c").inc(30)
+        assert engine.evaluate() == []  # breached, but not for 5 s yet
+        clock.advance(2)
+        assert engine.evaluate() == []
+        clock.advance(3)
+        events = engine.evaluate()
+        assert [e["event"] for e in events] == ["fired"]
+
+    def test_blip_shorter_than_min_hold_never_fires(self):
+        clock = FakeClock()
+        rule = AlertRule(
+            name="blip",
+            metric="c",
+            stat="rate",
+            window_s=5.0,
+            op=">",
+            threshold=0.5,
+            min_hold_s=10.0,
+        )
+        registry, engine = _engine([rule], clock)
+        registry.counter("c").inc(100)
+        assert engine.evaluate() == []
+        clock.advance(6)  # burst leaves the window before the hold ends
+        assert engine.evaluate() == []
+        clock.advance(10)
+        assert engine.evaluate() == []
+        assert engine.counts()["fired"] == 0
+
+    def test_histogram_percentile_rule(self):
+        clock = FakeClock()
+        rule = AlertRule(
+            name="p95_high",
+            metric="lat",
+            stat="p95",
+            window_s=60.0,
+            op=">",
+            threshold=0.5,
+        )
+        registry, engine = _engine([rule], clock)
+        for _ in range(20):
+            registry.histogram("lat").observe(0.9)
+        events = engine.evaluate()
+        assert [e["event"] for e in events] == ["fired"]
+
+    def test_missing_metric_stays_quiet(self):
+        clock = FakeClock()
+        rule = AlertRule(name="ghost", metric="never.reported")
+        _, engine = _engine([rule], clock)
+        for _ in range(3):
+            assert engine.evaluate() == []
+        assert engine.active() == []
+
+
+class TestRateOfChange:
+    def test_detects_throughput_collapse(self):
+        clock = FakeClock()
+        rule = AlertRule(
+            name="collapse",
+            kind="rate_of_change",
+            metric="serve.requests",
+            window_s=10.0,
+            op="<",
+            threshold=-5.0,
+        )
+        registry, engine = _engine([rule], clock)
+        registry.counter("serve.requests").inc(100)
+        # Burst is in the current window: the change is positive.
+        assert engine.evaluate() == []
+        # 15 s later the burst sits in the *previous* window and the
+        # current one is empty: -10/s crosses the -5/s threshold.
+        clock.advance(15)
+        events = engine.evaluate()
+        assert [e["event"] for e in events] == ["fired"]
+        assert events[0]["value"] == pytest.approx(-10.0)
+
+
+class TestDriftRule:
+    def test_fires_and_resolves_with_provider(self):
+        clock = FakeClock()
+        verdicts: list[dict] = [{"model": "a", "drifted": False}]
+        rule = AlertRule(
+            name="model_drift",
+            kind="drift",
+            op=">",
+            threshold=0.0,
+            severity="critical",
+        )
+        registry = MetricsRegistry(clock=clock)
+        engine = AlertEngine(
+            [rule],
+            registry=registry,
+            drift_provider=lambda: verdicts,
+            clock=clock,
+        )
+        assert engine.evaluate() == []
+        verdicts[0]["drifted"] = True
+        events = engine.evaluate()
+        assert [e["event"] for e in events] == ["fired"]
+        assert events[0]["value"] == 1.0
+        active = engine.active()
+        assert active[0]["rule"] == "model_drift"
+        assert active[0]["severity"] == "critical"
+        verdicts[0]["drifted"] = False
+        events = engine.evaluate()
+        assert [e["event"] for e in events] == ["resolved"]
+        assert engine.active() == []
+
+
+class TestEngineSideEffects:
+    def test_transitions_append_jsonl_and_bump_counters(self, tmp_path):
+        clock = FakeClock()
+        log_path = tmp_path / "alerts.jsonl"
+        rule = AlertRule(
+            name="r",
+            metric="c",
+            stat="rate",
+            window_s=10.0,
+            op=">",
+            threshold=0.5,
+        )
+        registry = MetricsRegistry(clock=clock)
+        engine = AlertEngine(
+            [rule], registry=registry, log_path=log_path, clock=clock
+        )
+        registry.counter("c").inc(100)
+        engine.evaluate()
+        clock.advance(20)
+        engine.evaluate()
+        rows = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        assert [row["event"] for row in rows] == [
+            "start",
+            "fired",
+            "resolved",
+        ]
+        assert rows[0]["rules"] == ["r"]
+        assert rows[1]["rule"] == "r"
+        assert rows[1]["severity"] == "warning"
+        assert "ts_utc" in rows[1]
+        assert registry.counter("serve.alerts_fired").value == 1.0
+        assert registry.counter("serve.alerts_resolved").value == 1.0
+        assert registry.gauge("serve.alerts_active").value == 0.0
+
+    def test_active_sorts_most_severe_first(self):
+        clock = FakeClock()
+        rules = [
+            AlertRule(
+                name="warn", metric="c", stat="rate",
+                window_s=10.0, threshold=0.0, severity="warning",
+            ),
+            AlertRule(
+                name="crit", metric="c", stat="rate",
+                window_s=10.0, threshold=0.0, severity="critical",
+            ),
+        ]
+        registry, engine = _engine(rules, clock)
+        registry.counter("c").inc(5)
+        engine.evaluate()
+        severities = [row["severity"] for row in engine.active()]
+        assert severities == ["critical", "warning"]
+
+    def test_evaluator_thread_runs_and_stops(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        rule = AlertRule(
+            name="always", metric="c", stat="value",
+            op=">=", threshold=0.0,
+        )
+        engine = AlertEngine([rule], registry=registry)
+        evaluator = AlertEvaluator(engine, interval_s=0.01).start()
+        try:
+            deadline = 200
+            while engine.counts()["evaluations"] == 0 and deadline:
+                deadline -= 1
+                time.sleep(0.01)
+            assert engine.counts()["evaluations"] > 0
+        finally:
+            evaluator.stop()
+        assert not evaluator._thread.is_alive()
+
+    def test_evaluator_rejects_nonpositive_interval(self):
+        registry = MetricsRegistry()
+        engine = AlertEngine([], registry=registry)
+        with pytest.raises(ValueError):
+            AlertEvaluator(engine, interval_s=0.0)
+
+
+class TestRuleLoading:
+    def test_load_rules_list_and_wrapper_forms(self, tmp_path):
+        rules = [
+            {"name": "a", "metric": "m", "threshold": 1.0},
+            {"name": "b", "kind": "drift", "threshold": 0.0},
+        ]
+        plain = tmp_path / "plain.json"
+        plain.write_text(json.dumps(rules))
+        wrapped = tmp_path / "wrapped.json"
+        wrapped.write_text(json.dumps({"rules": rules}))
+        for path in (plain, wrapped):
+            loaded = load_rules(path)
+            assert [rule.name for rule in loaded] == ["a", "b"]
+            assert loaded[1].kind == "drift"
+
+    def test_load_rules_rejects_non_list(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps("just a string"))
+        with pytest.raises(ValueError, match="expected a list"):
+            load_rules(path)
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"rules": []}))
+        assert load_rules(empty) == []
+
+    def test_default_serve_rules_are_valid_and_unique(self):
+        rules = default_serve_rules()
+        names = [rule.name for rule in rules]
+        assert len(set(names)) == len(rules)
+        assert "model_drift" in names
+        assert "high_5xx_rate" in names
+        # Every default rule survives a dict round-trip (the JSON the
+        # docs show can express the stock rule set).
+        for rule in rules:
+            assert AlertRule.from_dict(rule.to_dict()) == rule
+
+    def test_nan_never_breaches(self):
+        rule = AlertRule(name="r", metric="m", op="<", threshold=1e9)
+        assert not rule.breached(float("nan"))
+        assert rule.breached(0.0)
+        assert math.isnan(
+            rule.value_from(MetricsRegistry(), ())
+        )

@@ -48,6 +48,30 @@ class TestDisabledByDefault:
         elapsed = time.perf_counter() - start
         assert elapsed / n < 50e-6, f"{elapsed / n * 1e6:.1f} us per span"
 
+    def test_noop_windowed_instruments_are_inert_and_cheap(self):
+        # The windowed API (rates, window snapshots) must stay free on
+        # the null registry: same shared inert instrument, no ring
+        # allocation, and well under the per-op overhead bound.
+        registry = get_registry()
+        assert not registry.enabled
+        n = 10_000
+        start = time.perf_counter()
+        for _ in range(n):
+            c = registry.counter("noop.windowed")
+            c.inc()
+            c.rate(60.0)
+            c.window_sum(60.0)
+            h = registry.histogram("noop.windowed_lat")
+            h.observe(1.0)
+            h.window_percentile(0.95, 60.0)
+        elapsed = time.perf_counter() - start
+        assert elapsed / n < 50e-6, f"{elapsed / n * 1e6:.1f} us per round"
+        # Nothing was recorded anywhere.
+        assert registry.counter("noop.windowed").rate(60.0) == 0.0
+        snap = registry.histogram("noop.windowed_lat").window_snapshot()
+        assert snap["count"] == 0.0
+        assert not get_registry().enabled
+
 
 class TestLazyImports:
     def test_pipeline_does_not_import_profiler(self):

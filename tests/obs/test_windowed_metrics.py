@@ -1,0 +1,259 @@
+"""Windowed counters and histograms: correctness, expiry, concurrency.
+
+The ring buckets are driven with an injected fake clock so window
+expiry is deterministic; a separate stress test hammers one windowed
+counter and histogram from eight threads (in the style of
+``tests/serve/test_stress.py``) and checks integrity against the
+cumulative values.  The Prometheus exposition round-trips through the
+strict parser.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor, as_completed
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_WINDOW_S,
+    WINDOW_BUCKET_SAMPLES,
+    WINDOW_HORIZON_S,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+    render_prometheus,
+)
+
+N_THREADS = 8
+JOIN_TIMEOUT_S = 60.0
+
+
+class FakeClock:
+    """A monotonic clock the test advances by hand."""
+
+    def __init__(self, t: float = 1_000.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestWindowedCounter:
+    def test_window_sum_and_rate(self):
+        clock = FakeClock()
+        c = Counter("w.count", clock=clock)
+        c.inc(3)
+        clock.advance(10)
+        c.inc(7)
+        assert c.value == 10.0
+        assert c.window_sum(60.0) == 10.0
+        # Only the second burst is inside a 5 s window.
+        assert c.window_sum(5.0) == 7.0
+        assert c.rate(10.0) == pytest.approx(0.7)
+
+    def test_window_expires(self):
+        clock = FakeClock()
+        c = Counter("w.expire", clock=clock)
+        c.inc(5)
+        clock.advance(61)
+        assert c.window_sum(60.0) == 0.0
+        assert c.value == 5.0  # cumulative value never expires
+
+    def test_horizon_wraparound_resets_stale_slots(self):
+        clock = FakeClock()
+        c = Counter("w.wrap", clock=clock)
+        c.inc(100)
+        # A full horizon later the old bucket's slot is reused; the
+        # stale sum must not leak into the new window.
+        clock.advance(WINDOW_HORIZON_S)
+        c.inc(1)
+        assert c.window_sum(60.0) == 1.0
+        assert c.value == 101.0
+
+    def test_rate_rejects_nonpositive_window(self):
+        c = Counter("w.bad")
+        with pytest.raises(ValueError):
+            c.rate(0.0)
+        with pytest.raises(ValueError):
+            c.rate(-5.0)
+
+    def test_unwindowed_counter_reads_zero(self):
+        c = Counter("w.off", windowed=False)
+        c.inc(9)
+        assert c.value == 9.0
+        assert c.window_sum() == 0.0
+        assert c.rate() == 0.0
+
+
+class TestWindowedHistogram:
+    def test_snapshot_exact_count_total_mean(self):
+        clock = FakeClock()
+        h = Histogram("w.hist", clock=clock)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        snap = h.window_snapshot(60.0)
+        assert snap["count"] == 4.0
+        assert snap["total"] == 10.0
+        assert snap["mean"] == pytest.approx(2.5)
+        assert snap["min"] == 1.0
+        assert snap["max"] == 4.0
+        assert snap["p50"] in (2.0, 3.0)
+
+    def test_window_excludes_old_observations(self):
+        clock = FakeClock()
+        h = Histogram("w.hist2", clock=clock)
+        h.observe(100.0)
+        clock.advance(30)
+        h.observe(1.0)
+        h.observe(2.0)
+        snap = h.window_snapshot(10.0)
+        assert snap["count"] == 2.0
+        assert snap["max"] == 2.0
+        # The cumulative view still remembers everything.
+        assert h.count == 3
+        assert h.max == 100.0
+        clock.advance(61)
+        empty = h.window_snapshot(60.0)
+        assert empty["count"] == 0.0
+        assert math.isnan(empty["mean"])
+        assert math.isnan(empty["p95"])
+
+    def test_window_percentile_matches_snapshot(self):
+        clock = FakeClock()
+        h = Histogram("w.hist3", clock=clock)
+        for v in range(1, 21):
+            h.observe(float(v))
+        snap = h.window_snapshot(60.0)
+        assert h.window_percentile(0.5, 60.0) == snap["p50"]
+        assert h.window_percentile(0.95, 60.0) == snap["p95"]
+
+    def test_bucket_sample_cap_keeps_summary_exact(self):
+        clock = FakeClock()
+        h = Histogram("w.capped", clock=clock)
+        n = WINDOW_BUCKET_SAMPLES * 4  # overflow one bucket's reservoir
+        for v in range(n):
+            h.observe(float(v))
+        snap = h.window_snapshot(60.0)
+        assert snap["count"] == float(n)  # count/total stay exact
+        assert snap["total"] == float(sum(range(n)))
+        assert 0.0 <= snap["p50"] <= float(n - 1)
+
+    def test_unwindowed_histogram_reads_empty(self):
+        h = Histogram("w.off", windowed=False)
+        h.observe(1.0)
+        assert h.count == 1
+        assert h.window_snapshot()["count"] == 0.0
+        assert math.isnan(h.window_percentile(0.5))
+
+
+class TestRegistryClockInjection:
+    def test_registry_hands_clock_to_instruments(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        registry.counter("reg.count").inc(4)
+        clock.advance(120)
+        assert registry.counter("reg.count").window_sum(60.0) == 0.0
+        assert registry.counter("reg.count").value == 4.0
+
+
+class TestWindowedConcurrency:
+    """Eight threads write one counter + histogram while a reader polls."""
+
+    def _run_threads(self, worker, n_threads=N_THREADS):
+        with ThreadPoolExecutor(max_workers=n_threads) as pool:
+            futures = [pool.submit(worker, i) for i in range(n_threads)]
+            done = []
+            for fut in as_completed(futures, timeout=JOIN_TIMEOUT_S):
+                done.append(fut.result())  # re-raises worker exceptions
+        assert len(done) == n_threads
+        return done
+
+    def test_no_lost_updates_under_contention(self):
+        registry = MetricsRegistry()
+        n_each = 2_000
+
+        def worker(tid: int):
+            counter = registry.counter("stress.count")
+            hist = registry.histogram("stress.lat")
+            reads = 0
+            for i in range(n_each):
+                counter.inc()
+                hist.observe(float(tid * n_each + i))
+                if i % 100 == 0:
+                    # Interleave window reads with the writes; values
+                    # must be internally consistent, never negative.
+                    assert counter.window_sum(60.0) >= 0.0
+                    snap = hist.window_snapshot(60.0)
+                    assert snap["count"] >= 0.0
+                    reads += 1
+            return reads
+
+        self._run_threads(worker)
+        counter = registry.counter("stress.count")
+        hist = registry.histogram("stress.lat")
+        total = N_THREADS * n_each
+        # Integrity: no increment or observation lost.
+        assert counter.value == float(total)
+        assert hist.count == total
+        # The whole test ran well inside the default window, so the
+        # windowed views must agree with the cumulative ones.
+        assert counter.window_sum(DEFAULT_WINDOW_S) == float(total)
+        snap = hist.window_snapshot(DEFAULT_WINDOW_S)
+        assert snap["count"] == float(total)
+        assert snap["total"] == hist.total
+
+
+class TestPrometheusExposition:
+    def test_round_trip_through_parser(self):
+        clock = FakeClock()
+        registry = MetricsRegistry(clock=clock)
+        registry.counter("serve.requests").inc(120)
+        registry.gauge("serve.models_loaded").set(2)
+        for v in range(100):
+            registry.histogram("serve.request_latency_s").observe(
+                v / 1000.0
+            )
+        text = render_prometheus(registry, window_s=60.0)
+        series = parse_prometheus_text(text)
+        assert series["serve_requests_total"][0][1] == 120.0
+        labels, rate = series["serve_requests_rate"][0]
+        assert labels == {"window": "60s"}
+        assert rate == pytest.approx(2.0)
+        assert series["serve_models_loaded"][0][1] == 2.0
+        quantiles = {
+            labels["quantile"]: value
+            for labels, value in series["serve_request_latency_s_window"]
+        }
+        assert set(quantiles) == {"0.5", "0.95", "0.99"}
+        assert quantiles["0.5"] <= quantiles["0.99"]
+        assert (
+            series["serve_request_latency_s_window_count"][0][1] == 100.0
+        )
+
+    def test_nan_gauge_renders_and_parses(self):
+        registry = MetricsRegistry()
+        registry.gauge("serve.empty")  # created, never set -> NaN
+        text = render_prometheus(registry)
+        series = parse_prometheus_text(text)
+        assert math.isnan(series["serve_empty"][0][1])
+
+    def test_unwindowed_instruments_skip_window_families(self):
+        registry = MetricsRegistry()
+        registry._counters["raw.count"] = Counter(
+            "raw.count", windowed=False
+        )
+        registry.counter("raw.count").inc()
+        text = render_prometheus(registry)
+        assert "raw_count_total" in text
+        assert "raw_count_rate" not in text
+
+    def test_parser_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_prometheus_text("this is { not exposition\n")
+        with pytest.raises(ValueError):
+            parse_prometheus_text("metric_name not_a_number\n")
