@@ -252,6 +252,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="training sample size when the city's model must be fitted",
     )
     serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes; >1 runs the sharded router in front of "
+             "N repro.serve.worker subprocesses (see docs/SERVING.md)",
+    )
+    serve.add_argument(
+        "--quantized", action="store_true",
+        help="serve via registered byte-identity-proven lookup tables "
+             "where available",
+    )
+    serve.add_argument(
         "--trace-sample", type=float, default=1.0, metavar="RATE",
         help="fraction of requests that get a serve.request span "
              "(trace ids are always issued)",
@@ -605,18 +615,34 @@ def _cmd_serve(args) -> int:
             tests, catalog, registry=registry, city=args.city, jobs=args.jobs
         )
     alert_log = args.alert_log if args.alert_log != "off" else None
-    server = build_server(
-        registry,
-        ServeConfig(
-            host=args.host,
-            port=args.port,
-            default_city=args.city,
-            trace_sample_rate=args.trace_sample,
-            alert_rules_path=args.alert_rules,
-            alert_log=alert_log,
-            alert_interval_s=args.alert_interval,
-        ),
-    )
+    if args.workers > 1:
+        from repro.serve.router import RouterConfig, build_router
+
+        server = build_router(
+            args.registry,
+            RouterConfig(
+                host=args.host,
+                port=args.port,
+                n_workers=args.workers,
+                default_city=args.city,
+                worker_quantized=args.quantized,
+                worker_trace_sample=args.trace_sample,
+            ),
+        )
+    else:
+        server = build_server(
+            registry,
+            ServeConfig(
+                host=args.host,
+                port=args.port,
+                default_city=args.city,
+                trace_sample_rate=args.trace_sample,
+                alert_rules_path=args.alert_rules,
+                alert_log=alert_log,
+                alert_interval_s=args.alert_interval,
+                quantized=args.quantized,
+            ),
+        )
     host, port = server.server_address[:2]
     # The smoke test and tooling parse this line to find the bound port.
     print(f"serving on http://{host}:{port}", flush=True)

@@ -12,11 +12,19 @@ makes a fitted model reusable and servable:
   HTTP service (``/assign``, ``/models``, ``/healthz``) and its
   client, with per-request observability, drift checks, and graceful
   shutdown.
+- :mod:`repro.serve.router` / :mod:`repro.serve.worker` -- the
+  scale-out layer: N worker subprocesses sharded by ``(city, isp)``
+  behind one front router (``repro serve --workers N``).
 
 See docs/SERVING.md for the full tour.
 """
 
-from repro.serve.engine import AssignmentBatch, MicroBatcher, TierAssigner
+from repro.serve.engine import (
+    AssignmentBatch,
+    MicroBatcher,
+    QuantizedLookup,
+    TierAssigner,
+)
 from repro.serve.registry import ModelKey, ModelRecord, ModelRegistry
 
 __all__ = [
@@ -25,5 +33,6 @@ __all__ = [
     "ModelKey",
     "ModelRecord",
     "ModelRegistry",
+    "QuantizedLookup",
     "TierAssigner",
 ]

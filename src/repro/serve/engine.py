@@ -9,12 +9,24 @@ measurements that arrive later, without refitting.  Two layers:
   assignment.  It rebuilds the exact fit-time predictors from the
   stage parameters the fit recorded (GMM posterior argmax, or nearest
   k-means center), so applying an assigner to the data the model was
-  trained on reproduces ``result.tiers`` byte-for-byte.
+  trained on reproduces ``result.tiers`` byte-for-byte.  The download
+  stage runs as one grouped pass: a stable argsort segments the request
+  matrix by upload group, each present group's predictor evaluates one
+  contiguous slice, and a single inverse scatter restores request order
+  -- no per-group masking scans over the whole batch.
+- :class:`QuantizedLookup` -- an optional quantized nearest-plan lookup
+  table compiled from a frozen assigner: both BST stages are 1-D label
+  functions, so assignment reduces to two ``searchsorted`` threshold
+  lookups once the stage decision boundaries are bisected down to
+  adjacent float64s.  ``build`` proves byte-identity against the exact
+  GMM path on the training sample before the table may serve.
 - :class:`MicroBatcher` -- a bounded micro-batching queue for streaming
   input: concurrent single-tuple submissions coalesce into one
   vectorised ``assign`` call per flush (configurable flush size and
   interval); a full queue blocks producers (backpressure) instead of
-  growing without bound.
+  growing without bound.  ``submit`` and ``close`` synchronise on one
+  lock, so a submission racing shutdown either resolves its future or
+  fails fast with :class:`BatcherClosedError` -- never a lost future.
 
 Upload groups that had no download-stage fit (no training measurement
 landed in them) fall back to the log-nearest advertised download among
@@ -43,7 +55,17 @@ from repro.stats.kmeans import KMeans1D, KMeansResult
 
 log = get_logger("serve.engine")
 
-__all__ = ["AssignmentBatch", "MicroBatcher", "TierAssigner"]
+__all__ = [
+    "AssignmentBatch",
+    "BatcherClosedError",
+    "MicroBatcher",
+    "QuantizedLookup",
+    "TierAssigner",
+]
+
+
+class BatcherClosedError(RuntimeError):
+    """A submission arrived at (or after) :meth:`MicroBatcher.close`."""
 
 
 @dataclass
@@ -100,6 +122,27 @@ def _mixture_predictor(
         converged=True,
     )
     return gmm.predict
+
+
+def _validate_batch(downloads, uploads) -> tuple[np.ndarray, np.ndarray]:
+    """Shared ``assign`` input contract: 1-D, paired, finite, non-empty."""
+    downloads = np.asarray(downloads, dtype=float)
+    uploads = np.asarray(uploads, dtype=float)
+    if downloads.shape != uploads.shape:
+        raise ValueError("downloads and uploads must pair one-to-one")
+    if downloads.ndim != 1:
+        downloads = downloads.ravel()
+        uploads = uploads.ravel()
+    if downloads.size == 0:
+        raise ValueError("empty assignment batch")
+    finite = np.isfinite(downloads) & np.isfinite(uploads)
+    if not finite.all():
+        bad = int(downloads.size - finite.sum())
+        raise ValueError(
+            f"assignment input must be finite ({bad} of "
+            f"{downloads.size} tuples are NaN/inf)"
+        )
+    return downloads, uploads
 
 
 class TierAssigner:
@@ -174,22 +217,7 @@ class TierAssigner:
         :meth:`BSTModel.fit` requires.  On the model's own training
         sample the returned tiers equal ``result.tiers`` byte-for-byte.
         """
-        downloads = np.asarray(downloads, dtype=float)
-        uploads = np.asarray(uploads, dtype=float)
-        if downloads.shape != uploads.shape:
-            raise ValueError("downloads and uploads must pair one-to-one")
-        if downloads.ndim != 1:
-            downloads = downloads.ravel()
-            uploads = uploads.ravel()
-        if downloads.size == 0:
-            raise ValueError("empty assignment batch")
-        finite = np.isfinite(downloads) & np.isfinite(uploads)
-        if not finite.all():
-            bad = int(downloads.size - finite.sum())
-            raise ValueError(
-                f"assignment input must be finite ({bad} of "
-                f"{downloads.size} tuples are NaN/inf)"
-            )
+        downloads, uploads = _validate_batch(downloads, uploads)
         with span(
             "serve.assign",
             isp=self.catalog.isp_name,
@@ -200,19 +228,9 @@ class TierAssigner:
                 sp.set(trace_id=trace_id)
             labels = self._upload_predict(uploads)
             group_indices = self._component_groups[labels]
-            tiers = np.zeros(downloads.size, dtype=np.int64)
-            n_fallback = 0
-            for gi in np.unique(group_indices):
-                gi = int(gi)
-                rows = np.flatnonzero(group_indices == gi)
-                predict = self._download_predict.get(gi)
-                if predict is None:
-                    tiers[rows] = self._fallback_assign(gi, downloads[rows])
-                    n_fallback += rows.size
-                else:
-                    tiers[rows] = self._download_tiers[gi][
-                        predict(downloads[rows])
-                    ]
+            tiers, n_fallback = self._assign_downloads(
+                group_indices, downloads
+            )
             sp.set(n_fallback=n_fallback)
         obs_metrics.counter("serve.assigned").inc(int(downloads.size))
         if n_fallback:
@@ -230,6 +248,41 @@ class TierAssigner:
             group_indices=group_indices,
             n_fallback=n_fallback,
         )
+
+    def _assign_downloads(
+        self, group_indices: np.ndarray, downloads: np.ndarray
+    ) -> tuple[np.ndarray, int]:
+        """Grouped download-stage prediction over the whole batch.
+
+        A stable argsort segments the batch by upload group, so each
+        present group's predictor evaluates one contiguous slice and a
+        single inverse scatter restores request order.  The stable sort
+        keeps rows of a group in ascending request order -- exactly the
+        order the old per-group masking produced -- so tier labels stay
+        byte-identical while the per-group O(n) masking scans and
+        scattered writes disappear.
+        """
+        order = np.argsort(group_indices, kind="stable")
+        sorted_groups = group_indices[order]
+        sorted_downloads = downloads[order]
+        present, starts = np.unique(sorted_groups, return_index=True)
+        bounds = np.append(starts, sorted_groups.size)
+        sorted_tiers = np.empty(downloads.size, dtype=np.int64)
+        n_fallback = 0
+        for gi, lo, hi in zip(present, bounds[:-1], bounds[1:]):
+            gi = int(gi)
+            segment = sorted_downloads[lo:hi]
+            predict = self._download_predict.get(gi)
+            if predict is None:
+                sorted_tiers[lo:hi] = self._fallback_assign(gi, segment)
+                n_fallback += segment.size
+            else:
+                sorted_tiers[lo:hi] = self._download_tiers[gi][
+                    predict(segment)
+                ]
+        tiers = np.empty(downloads.size, dtype=np.int64)
+        tiers[order] = sorted_tiers
+        return tiers, n_fallback
 
     def _fallback_assign(self, gi: int, downloads: np.ndarray) -> np.ndarray:
         log_plans = self._fallback_log_downloads[gi]
@@ -265,6 +318,242 @@ class TierAssigner:
         """Paper-style span labels for a batch's group indices."""
         labels = [g.tier_label for g in self.result.upload_stage.groups]
         return [labels[int(i)] for i in group_indices]
+
+
+# ---------------------------------------------------------------------------
+# Quantized nearest-plan lookup table
+# ---------------------------------------------------------------------------
+def _label_cuts(values, label_fn) -> tuple[np.ndarray, np.ndarray]:
+    """Threshold table ``(cuts, labels)`` reproducing ``label_fn``.
+
+    Both BST stages are 1-D label functions, so their decision
+    boundaries are points on the speed axis.  The table is built by
+    evaluating ``label_fn`` on the sorted unique sample, then bisecting
+    every label change down to *adjacent float64s* -- so the table flips
+    at exactly the float where the predictor does.  For any value
+    inside a scanned interval, ``labels[searchsorted(cuts, v, "right")]
+    == label_fn(v)``; outside the sample's hull, or inside a
+    non-monotonic pocket no sample point exposed, the caller must prove
+    equality empirically (see :meth:`QuantizedLookup.verify`).
+    """
+    points = np.unique(np.asarray(values, dtype=float))
+    if points.size == 0:
+        raise ValueError("cannot tabulate a predictor without samples")
+    labels = np.asarray(label_fn(points), dtype=np.int64)
+    change = np.flatnonzero(labels[:-1] != labels[1:])
+    lo = points[change].copy()
+    hi = points[change + 1].copy()
+    left = labels[change]
+    while True:
+        gap = np.nextafter(lo, hi) < hi
+        if not gap.any():
+            break
+        mid = lo + (hi - lo) * 0.5
+        mid = np.maximum(np.nextafter(lo, hi), np.minimum(mid, np.nextafter(hi, lo)))
+        same = np.asarray(label_fn(mid), dtype=np.int64) == left
+        lo = np.where(gap & same, mid, lo)
+        hi = np.where(gap & ~same, mid, hi)
+    region_labels = np.concatenate(
+        ([labels[0]], labels[change + 1])
+    ).astype(np.int64)
+    return hi.astype(float), region_labels
+
+
+class QuantizedLookup:
+    """Quantized nearest-plan lookup table over a frozen assigner.
+
+    Compiles a :class:`TierAssigner` into two layers of threshold
+    tables: upload value -> upload group, then (per group) download
+    value -> plan tier -- covering fitted GMM / k-means download stages
+    *and* the log-nearest-plan fallback alike.  Assignment is then two
+    ``searchsorted`` gathers: no log-pdf evaluation on the hot path.
+
+    :meth:`build` proves byte-identity against the exact GMM path on
+    the training sample before the table may serve (``strict=True``
+    raises on any mismatch); groups the sample never visited keep using
+    the exact predictors at assign time, so the table never extrapolates
+    a group it was not built for.  ``to_dict``/``from_dict`` round-trip
+    the (tiny) tables through JSON so a registry can persist the proof
+    alongside the model.
+    """
+
+    LOOKUP_SCHEMA = 1
+
+    def __init__(
+        self,
+        assigner: TierAssigner,
+        upload_cuts: np.ndarray,
+        upload_labels: np.ndarray,
+        download_tables: dict[int, tuple[np.ndarray, np.ndarray]],
+        verified_n: int = 0,
+    ):
+        self.assigner = assigner
+        self._upload_cuts = np.asarray(upload_cuts, dtype=float)
+        self._upload_labels = np.asarray(upload_labels, dtype=np.int64)
+        self._download_tables = {
+            int(gi): (
+                np.asarray(cuts, dtype=float),
+                np.asarray(labels, dtype=np.int64),
+            )
+            for gi, (cuts, labels) in download_tables.items()
+        }
+        self.verified_n = int(verified_n)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        assigner: TierAssigner,
+        downloads,
+        uploads,
+        strict: bool = True,
+    ) -> "QuantizedLookup":
+        """Compile and *prove* a lookup table on a training sample.
+
+        Raises ``ValueError`` when ``strict`` and any training tuple
+        disagrees with the exact path (the table must never silently
+        approximate).  With ``strict=False`` the unproven table is
+        returned with ``verified_n == 0``; callers can still
+        :meth:`verify` later.
+        """
+        downloads, uploads = _validate_batch(downloads, uploads)
+        upload_cuts, upload_labels = _label_cuts(
+            uploads,
+            lambda u: assigner._component_groups[assigner._upload_predict(u)],
+        )
+        exact = assigner.assign(downloads, uploads)
+        tables: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for gi in np.unique(exact.group_indices):
+            gi = int(gi)
+            rows = exact.group_indices == gi
+            predict = assigner._download_predict.get(gi)
+            if predict is None:
+                label_fn = lambda d, g=gi: assigner._fallback_assign(g, d)
+            else:
+                label_fn = lambda d, g=gi, p=predict: (
+                    assigner._download_tiers[g][p(d)]
+                )
+            tables[gi] = _label_cuts(downloads[rows], label_fn)
+        lookup = cls(assigner, upload_cuts, upload_labels, tables)
+        verified = lookup.verify(downloads, uploads)
+        if strict and not verified:
+            raise ValueError(
+                "quantized lookup table disagrees with the exact GMM "
+                "path on the training sample; refusing to serve it"
+            )
+        lookup.verified_n = int(downloads.size) if verified else 0
+        return lookup
+
+    def verify(self, downloads, uploads) -> bool:
+        """Byte-identity proof: table output == exact path output."""
+        exact = self.assigner.assign(downloads, uploads)
+        table = self.assign(downloads, uploads)
+        return bool(
+            np.array_equal(exact.tiers, table.tiers)
+            and np.array_equal(exact.group_indices, table.group_indices)
+        )
+
+    # ------------------------------------------------------------------
+    def assign(self, downloads, uploads) -> AssignmentBatch:
+        """Assign a batch via the threshold tables.
+
+        Rows landing in upload groups the table was not built for run
+        through the exact predictors (same segment machinery as
+        :meth:`TierAssigner._assign_downloads`).
+        """
+        downloads, uploads = _validate_batch(downloads, uploads)
+        group_indices = self._upload_labels[
+            np.searchsorted(self._upload_cuts, uploads, side="right")
+        ]
+        order = np.argsort(group_indices, kind="stable")
+        sorted_groups = group_indices[order]
+        sorted_downloads = downloads[order]
+        present, starts = np.unique(sorted_groups, return_index=True)
+        bounds = np.append(starts, sorted_groups.size)
+        sorted_tiers = np.empty(downloads.size, dtype=np.int64)
+        n_fallback = 0
+        for gi, lo, hi in zip(present, bounds[:-1], bounds[1:]):
+            gi = int(gi)
+            segment = sorted_downloads[lo:hi]
+            table = self._download_tables.get(gi)
+            if table is not None:
+                cuts, labels = table
+                sorted_tiers[lo:hi] = labels[
+                    np.searchsorted(cuts, segment, side="right")
+                ]
+            elif self.assigner._download_predict.get(gi) is not None:
+                predict = self.assigner._download_predict[gi]
+                sorted_tiers[lo:hi] = self.assigner._download_tiers[gi][
+                    predict(segment)
+                ]
+            else:
+                sorted_tiers[lo:hi] = self.assigner._fallback_assign(
+                    gi, segment
+                )
+            if self.assigner._download_predict.get(gi) is None:
+                n_fallback += segment.size
+        tiers = np.empty(downloads.size, dtype=np.int64)
+        tiers[order] = sorted_tiers
+        obs_metrics.counter("serve.lookup_assigned").inc(
+            int(downloads.size)
+        )
+        quality = get_quality()
+        if quality.enabled:
+            quality.observe_assignments(tiers)
+        return AssignmentBatch(
+            tiers=tiers,
+            group_indices=group_indices,
+            n_fallback=n_fallback,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able form of the tables (small enough for an index)."""
+        return {
+            "lookup_schema": self.LOOKUP_SCHEMA,
+            "upload_cuts": self._upload_cuts.tolist(),
+            "upload_labels": self._upload_labels.tolist(),
+            "download_tables": {
+                str(gi): {
+                    "cuts": cuts.tolist(),
+                    "labels": labels.tolist(),
+                }
+                for gi, (cuts, labels) in self._download_tables.items()
+            },
+            "verified_n": self.verified_n,
+        }
+
+    @classmethod
+    def from_dict(
+        cls, assigner: TierAssigner, data: dict
+    ) -> "QuantizedLookup":
+        """Rebuild a persisted table against its (reloaded) assigner."""
+        schema = data.get("lookup_schema")
+        if schema != cls.LOOKUP_SCHEMA:
+            raise ValueError(
+                f"unknown lookup_schema {schema!r}; this build reads "
+                f"{cls.LOOKUP_SCHEMA}"
+            )
+        try:
+            return cls(
+                assigner,
+                upload_cuts=np.asarray(data["upload_cuts"], dtype=float),
+                upload_labels=np.asarray(
+                    data["upload_labels"], dtype=np.int64
+                ),
+                download_tables={
+                    int(gi): (
+                        np.asarray(entry["cuts"], dtype=float),
+                        np.asarray(entry["labels"], dtype=np.int64),
+                    )
+                    for gi, entry in data["download_tables"].items()
+                },
+                verified_n=int(data.get("verified_n", 0)),
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(
+                f"truncated lookup table payload: missing field ({exc})"
+            ) from exc
 
 
 # ---------------------------------------------------------------------------
@@ -315,6 +604,13 @@ class MicroBatcher:
         self.flush_interval_s = float(flush_interval_s)
         self._queue: queue.Queue = queue.Queue(maxsize=int(max_pending))
         self._closed = threading.Event()
+        # Serialises the closed-check-then-enqueue in submit() against
+        # close(): without it a producer could pass the check, lose the
+        # race, and enqueue *behind* the shutdown sentinel -- its future
+        # would never resolve.  The flush worker never takes this lock,
+        # so a producer blocked on a full queue (backpressure) cannot
+        # deadlock close(): the worker keeps draining underneath it.
+        self._submit_lock = threading.Lock()
         self._worker = threading.Thread(
             target=self._run, name="serve-microbatch", daemon=True
         )
@@ -331,17 +627,20 @@ class MicroBatcher:
 
         Blocks while the queue is full (bounded buffering); raises
         ``queue.Full`` when ``timeout_s`` elapses first, and
-        ``RuntimeError`` after :meth:`close`.
+        :class:`BatcherClosedError` at (or after) :meth:`close` -- a
+        submission racing shutdown either resolves its future or fails
+        here explicitly, never hangs.
         """
-        if self._closed.is_set():
-            raise RuntimeError("MicroBatcher is closed")
         fut: Future = Future()
-        # Capture the submitter's trace id: the flush happens on the
-        # worker thread, outside the request's context.
-        self._queue.put(
-            (float(download), float(upload), fut, current_trace_id()),
-            timeout=timeout_s,
-        )
+        with self._submit_lock:
+            if self._closed.is_set():
+                raise BatcherClosedError("MicroBatcher is closed")
+            # Capture the submitter's trace id: the flush happens on the
+            # worker thread, outside the request's context.
+            self._queue.put(
+                (float(download), float(upload), fut, current_trace_id()),
+                timeout=timeout_s,
+            )
         return fut
 
     def assign_one(
@@ -350,16 +649,24 @@ class MicroBatcher:
         upload: float,
         timeout_s: float = 30.0,
     ) -> tuple[int, int]:
-        """Submit one tuple and wait for its ``(tier, group_index)``."""
-        return self.submit(download, upload, timeout_s=timeout_s).result(
-            timeout=timeout_s
-        )
+        """Submit one tuple and wait for its ``(tier, group_index)``.
+
+        ``timeout_s`` bounds the *whole* call: time spent blocked on a
+        full queue comes out of the same budget as waiting for the
+        flush result, instead of each phase spending the full timeout.
+        """
+        deadline = time.monotonic() + timeout_s
+        fut = self.submit(download, upload, timeout_s=timeout_s)
+        remaining = max(deadline - time.monotonic(), 0.0)
+        return fut.result(timeout=remaining)
 
     def close(self, timeout_s: float = 10.0) -> None:
         """Stop accepting work, drain pending tuples, join the worker."""
-        if self._closed.is_set():
+        with self._submit_lock:
+            already_closed = self._closed.is_set()
+            self._closed.set()
+        if already_closed:
             return
-        self._closed.set()
         self._queue.put(_SENTINEL)
         self._worker.join(timeout=timeout_s)
 

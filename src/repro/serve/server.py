@@ -43,6 +43,8 @@ terminated server never drops an accepted request.
 from __future__ import annotations
 
 import json
+import queue
+import re
 import signal
 import threading
 import time
@@ -63,8 +65,18 @@ from repro.obs.logging import get_logger, kv
 from repro.obs.metrics import MetricsRegistry, render_prometheus
 from repro.obs.quality import QualityMonitor
 from repro.obs.trace import new_trace_id, should_sample, span, use_trace_id
-from repro.serve.engine import MicroBatcher, TierAssigner
-from repro.serve.registry import ModelKey, ModelRecord, ModelRegistry
+from repro.serve.engine import (
+    BatcherClosedError,
+    MicroBatcher,
+    QuantizedLookup,
+    TierAssigner,
+)
+from repro.serve.registry import (
+    ModelKey,
+    ModelRecord,
+    ModelRegistry,
+    shard_for,
+)
 
 log = get_logger("serve.server")
 
@@ -96,6 +108,9 @@ class ServeConfig:
     alert_interval_s: float = 1.0  # evaluator period; <= 0 disables
     alert_log: str | None = None  # JSONL transition log path
     alert_rules_path: str | None = None  # JSON rules; None -> defaults
+    shard: tuple[int, int] | None = None  # (index, total) (city, isp) shard
+    mmap_models: bool = False  # load via the shared mmap sidecar
+    quantized: bool = False  # serve via verified lookup tables
 
 
 @dataclass
@@ -105,6 +120,7 @@ class _LoadedModel:
     key: ModelKey
     record: ModelRecord
     assigner: TierAssigner
+    lookup: QuantizedLookup | None = None  # verified quantized table
     batcher: MicroBatcher | None = None
     lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -142,6 +158,10 @@ class AssignmentService:
         self._started = time.monotonic()
         self.n_requests = 0
         self.n_errors = 0
+        # Last drift verdict per model slug: serve.drift_flags counts
+        # only not-drifted -> drifted *transitions*, so its rate tracks
+        # drift events rather than /healthz or alert-loop polling.
+        self._drift_flagged: dict[str, bool] = {}
 
     def start_alerting(self) -> None:
         """Start the background alert evaluator (idempotent)."""
@@ -163,15 +183,22 @@ class AssignmentService:
 
         Missing selectors match anything; ties resolve to the most
         recently registered record.  Raises ``KeyError`` when nothing
-        matches.
+        matches.  A sharded service (``config.shard``) only matches
+        models whose ``(city, isp)`` hash lands on its shard.
         """
         city = city or self.config.default_city or None
+        shard = self.config.shard
         candidates = [
             record
             for record in self.registry.records()
             if (city is None or record.key.city == city)
             and (isp is None or record.key.isp == isp)
             and (config_hash is None or record.key.config_hash == config_hash)
+            and (
+                shard is None
+                or shard_for(record.key.city, record.key.isp, shard[1])
+                == shard[0]
+            )
         ]
         if not candidates:
             raise KeyError(
@@ -186,9 +213,22 @@ class AssignmentService:
             loaded = self._loaded.get(key.slug)
         if loaded is not None:
             return loaded
-        result, record = self.registry.load(key)
+        if self.config.mmap_models:
+            result, record = self.registry.load_shared(key)
+        else:
+            result, record = self.registry.load(key)
+        assigner = TierAssigner(result)
+        lookup = None
+        if self.config.quantized and record.lookup:
+            try:
+                lookup = QuantizedLookup.from_dict(assigner, record.lookup)
+            except ValueError as exc:
+                log.warning(
+                    "persisted lookup table rejected; serving exact path",
+                    extra=kv(model=key.slug, error=str(exc)),
+                )
         loaded = _LoadedModel(
-            key=key, record=record, assigner=TierAssigner(result)
+            key=key, record=record, assigner=assigner, lookup=lookup
         )
         with self._lock:
             # Another thread may have raced us; keep the first.
@@ -238,7 +278,6 @@ class AssignmentService:
             isp=payload.get("isp"),
             config_hash=payload.get("config_hash"),
         )
-        self._observe(loaded, downloads, uploads)
         if payload.get("stream") and downloads.size == 1:
             tier, group = self.batcher_for(loaded).assign_one(
                 float(downloads[0]), float(uploads[0])
@@ -247,10 +286,16 @@ class AssignmentService:
             groups = [group]
             n_fallback = 0
         else:
-            batch = loaded.assigner.assign(downloads, uploads)
+            engine = loaded.lookup or loaded.assigner
+            batch = engine.assign(downloads, uploads)
             tiers = batch.tiers.tolist()
             groups = batch.group_indices.tolist()
             n_fallback = batch.n_fallback
+        # Observe only after assignment succeeded: a batch the engine
+        # rejects with 400 (NaN/inf, mismatched lengths) or that timed
+        # out in the queue must not shift the drift monitor's observed
+        # means and fire false model_drift alerts.
+        self._observe(loaded, downloads, uploads)
         return {
             "tiers": tiers,
             "group_indices": groups,
@@ -280,7 +325,13 @@ class AssignmentService:
 
     # -- drift -----------------------------------------------------------
     def drift_status(self) -> list[dict[str, Any]]:
-        """Per-loaded-model drift verdicts against training_stats."""
+        """Per-loaded-model drift verdicts against training_stats.
+
+        Called by both ``/healthz`` and the background alert evaluator,
+        so it must be poll-stable: ``serve.drift_flags`` (and the
+        drift warning log line) fire only on a model's not-drifted ->
+        drifted *transition*, not on every call while drifted.
+        """
         with self._lock:
             loaded = list(self._loaded.values())
         out = []
@@ -311,7 +362,10 @@ class AssignmentService:
                     "training_mean": train["mean"],
                     "rel_deviation": rel,
                 }
-            if drifted:
+            with self._lock:
+                was_drifted = self._drift_flagged.get(model.key.slug, False)
+                self._drift_flagged[model.key.slug] = drifted
+            if drifted and not was_drifted:
                 obs_metrics.counter("serve.drift_flags").inc()
                 self.metrics.counter("serve.drift_flags").inc()
                 log.warning(
@@ -415,6 +469,12 @@ _ENDPOINT_SLUGS = {
     "/metrics": "metrics",
 }
 
+# A well-formed trace id (16 lowercase hex chars, see obs.trace).  The
+# router forwards its per-request id in X-Trace-Id so worker spans and
+# error bodies join up with the front request; anything malformed is
+# ignored and a fresh id minted.
+_TRACE_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
 
 class _Handler(BaseHTTPRequestHandler):
     """Request routing for :class:`ServeServer`."""
@@ -433,22 +493,41 @@ class _Handler(BaseHTTPRequestHandler):
         log.debug("http " + format % args)
 
     def _send_body(
-        self, status: int, body: bytes, content_type: str
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        headers: dict[str, str] | None = None,
     ) -> None:
         self._status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Trace-Id", self._trace_id)
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_json(self, status: int, payload: dict | list) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: dict | list,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self._send_body(
-            status, json.dumps(payload).encode("utf-8"), "application/json"
+            status,
+            json.dumps(payload).encode("utf-8"),
+            "application/json",
+            headers=headers,
         )
 
-    def _error(self, status: int, message: str) -> None:
+    def _error(
+        self,
+        status: int,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
         self.server.service.record_error()
         self._send_json(
             status,
@@ -459,6 +538,7 @@ class _Handler(BaseHTTPRequestHandler):
                     "trace_id": self._trace_id,
                 }
             },
+            headers=headers,
         )
 
     def _endpoint(self) -> str:
@@ -475,7 +555,10 @@ class _Handler(BaseHTTPRequestHandler):
     def _handle(self, route) -> None:
         service = self.server.service
         service.record_request()
-        self._trace_id = new_trace_id()
+        incoming = self.headers.get("X-Trace-Id", "") if self.headers else ""
+        self._trace_id = (
+            incoming if _TRACE_ID_RE.match(incoming) else new_trace_id()
+        )
         self._status = 500  # routes overwrite on every sent response
         start = time.perf_counter()
         try:
@@ -567,6 +650,23 @@ class _Handler(BaseHTTPRequestHandler):
             return
         except KeyError as exc:
             self._error(404, str(exc).strip("'\""))
+            return
+        except (queue.Full, BatcherClosedError) as exc:
+            # Backpressure (a saturated micro-batch queue) and shutdown
+            # are retryable conditions, not internal errors: answer a
+            # structured 503 with Retry-After instead of a generic 500.
+            service.metrics.counter("serve.queue_rejections").inc()
+            obs_metrics.counter("serve.queue_rejections").inc()
+            reason = (
+                "assignment queue is saturated"
+                if isinstance(exc, queue.Full)
+                else "assignment engine is shutting down"
+            )
+            self._error(
+                503,
+                f"{reason}; retry shortly",
+                headers={"Retry-After": "1"},
+            )
             return
         response["trace_id"] = self._trace_id
         self._send_json(200, response)

@@ -176,3 +176,83 @@ def test_constructor_validation(fitted_a):
         MicroBatcher(assigner, max_batch=0)
     with pytest.raises(ValueError, match="max_pending"):
         MicroBatcher(assigner, max_batch=64, max_pending=8)
+
+
+# ---------------------------------------------------------------------------
+# Grouped download pass + QuantizedLookup
+# ---------------------------------------------------------------------------
+def _reference_assign(assigner, downloads, uploads):
+    """The pre-vectorization per-group masking loop, kept as an oracle."""
+    labels = assigner._upload_predict(np.asarray(uploads, dtype=float))
+    group_indices = assigner._component_groups[labels]
+    downloads = np.asarray(downloads, dtype=float)
+    tiers = np.empty(downloads.size, dtype=np.int64)
+    for gi in np.unique(group_indices):
+        gi = int(gi)
+        rows = np.flatnonzero(group_indices == gi)
+        predict = assigner._download_predict.get(gi)
+        if predict is None:
+            tiers[rows] = assigner._fallback_assign(gi, downloads[rows])
+        else:
+            tiers[rows] = assigner._download_tiers[gi][
+                predict(downloads[rows])
+            ]
+    return tiers, group_indices
+
+
+def test_grouped_pass_matches_reference_loop(fitted_a, fresh_sample):
+    downs, ups = fresh_sample
+    assigner = TierAssigner(fitted_a)
+    batch = assigner.assign(downs, ups)
+    ref_tiers, ref_groups = _reference_assign(assigner, downs, ups)
+    assert np.array_equal(batch.tiers, ref_tiers)
+    assert np.array_equal(batch.group_indices, ref_groups)
+
+
+def test_quantized_lookup_proof_on_training_sample(fitted_a, ookla_a):
+    from repro.serve.engine import QuantizedLookup
+
+    downs, ups = _speeds(ookla_a)
+    lookup = QuantizedLookup.build(TierAssigner(fitted_a), downs, ups)
+    assert lookup.verified_n == downs.size
+    batch = lookup.assign(downs, ups)
+    assert np.array_equal(batch.tiers, fitted_a.tiers)
+    assert np.array_equal(batch.group_indices, fitted_a.group_indices)
+
+
+def test_quantized_lookup_matches_exact_on_fresh_data(
+    fitted_a, ookla_a, fresh_sample
+):
+    from repro.serve.engine import QuantizedLookup
+
+    downs, ups = _speeds(ookla_a)
+    assigner = TierAssigner(fitted_a)
+    lookup = QuantizedLookup.build(assigner, downs, ups)
+    fresh_downs, fresh_ups = fresh_sample
+    exact = assigner.assign(fresh_downs, fresh_ups)
+    table = lookup.assign(fresh_downs, fresh_ups)
+    assert np.array_equal(table.tiers, exact.tiers)
+    assert np.array_equal(table.group_indices, exact.group_indices)
+
+
+def test_quantized_lookup_round_trips_through_json(fitted_a, ookla_a):
+    import json
+
+    from repro.serve.engine import QuantizedLookup
+
+    downs, ups = _speeds(ookla_a)
+    assigner = TierAssigner(fitted_a)
+    lookup = QuantizedLookup.build(assigner, downs, ups)
+    payload = json.loads(json.dumps(lookup.to_dict()))
+    revived = QuantizedLookup.from_dict(assigner, payload)
+    assert revived.verify(downs, ups)
+    assert revived.verified_n == lookup.verified_n
+
+
+def test_quantized_lookup_rejects_unknown_schema(fitted_a):
+    from repro.serve.engine import QuantizedLookup
+
+    with pytest.raises(ValueError, match="lookup_schema"):
+        QuantizedLookup.from_dict(
+            TierAssigner(fitted_a), {"lookup_schema": 99}
+        )

@@ -157,3 +157,85 @@ def test_no_tmp_files_left_behind(registry, fitted_a, catalog_a):
         p for p in registry.root.rglob("*") if ".tmp." in p.name
     ]
     assert leftovers == []
+
+
+# ---------------------------------------------------------------------------
+# mmap sidecar + quantized lookup persistence + shard hashing
+# ---------------------------------------------------------------------------
+def _speeds(table):
+    return (
+        np.asarray(table["download_mbps"], dtype=float),
+        np.asarray(table["upload_mbps"], dtype=float),
+    )
+
+
+def test_register_writes_mmap_sidecar(registry, fitted_a, catalog_a):
+    record = registry.register(registry.key_for("A", catalog_a), fitted_a)
+    sidecar = registry.shared_path(record.digest)
+    assert sidecar.exists()
+    assert sidecar.read_bytes().startswith(b"RPROARR1")
+
+
+def test_load_shared_equals_load(registry, fitted_a, catalog_a):
+    key = registry.key_for("A", catalog_a)
+    registry.register(key, fitted_a)
+    registry.evict_cache()
+    shared, record = registry.load_shared(key)
+    assert np.array_equal(shared.tiers, fitted_a.tiers)
+    assert np.array_equal(shared.group_indices, fitted_a.group_indices)
+    # The big arrays are views into the mapped file, not copies.
+    assert not shared.tiers.flags.owndata
+    assert not shared.tiers.flags.writeable
+
+
+def test_load_shared_backfills_missing_sidecar(
+    registry, fitted_a, catalog_a
+):
+    key = registry.key_for("A", catalog_a)
+    record = registry.register(key, fitted_a)
+    registry.shared_path(record.digest).unlink()
+    registry.evict_cache()
+    shared, _ = registry.load_shared(key)
+    assert np.array_equal(shared.tiers, fitted_a.tiers)
+    assert registry.shared_path(record.digest).exists()
+
+
+def test_load_shared_rejects_corrupt_sidecar(
+    registry, fitted_a, catalog_a
+):
+    key = registry.key_for("A", catalog_a)
+    record = registry.register(key, fitted_a)
+    registry.shared_path(record.digest).write_bytes(b"NOTMAGIC" + b"x" * 64)
+    registry.evict_cache()
+    with pytest.raises(ValueError, match="magic"):
+        registry.load_shared(key)
+
+
+def test_lookup_table_persisted_with_training_sample(
+    registry, fitted_a, catalog_a, ookla_a
+):
+    downs, ups = _speeds(ookla_a)
+    key = registry.key_for("A", catalog_a)
+    record = registry.register(key, fitted_a, downloads=downs, uploads=ups)
+    assert record.lookup is not None
+    assert record.lookup["verified_n"] == downs.size
+    # The table survives the index round trip.
+    reloaded = registry.lookup(key)
+    assert reloaded.lookup == record.lookup
+    # Without a training sample there is nothing to prove against.
+    bare = registry.register(
+        registry.key_for("A", catalog_a, BSTConfig(kde_method="binned")),
+        fitted_a,
+    )
+    assert bare.lookup is None
+
+
+def test_shard_for_is_deterministic_and_total():
+    from repro.serve.registry import shard_for
+
+    assert shard_for("A", "MetroNet", 4) == shard_for("A", "MetroNet", 4)
+    for n in (1, 2, 3, 8):
+        assert 0 <= shard_for("A", "MetroNet", n) < n
+    assert shard_for("A", "MetroNet", 1) == 0
+    with pytest.raises(ValueError, match="n_shards"):
+        shard_for("A", "MetroNet", 0)

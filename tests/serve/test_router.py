@@ -1,0 +1,148 @@
+"""Tests for the sharded worker fleet behind the front router.
+
+One module-scoped two-worker fleet serves two cities whose ``(city,
+isp)`` hashes land on different shards; tests cover routing
+byte-identity, worker failover, telemetry aggregation, and error
+relay.  Workers are real subprocesses, so this module is the slowest
+in the serving suite.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.bst import BSTModel
+from repro.market.isps import city_catalog
+from repro.obs.metrics import parse_prometheus_text
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.engine import TierAssigner
+from repro.serve.registry import ModelRegistry, shard_for
+from repro.serve.router import RouterConfig, build_router
+from repro.vendors.ookla import OoklaSimulator
+
+N_WORKERS = 2
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """(client, server, {city: (result, downloads, uploads)})."""
+    root = tmp_path_factory.mktemp("router-registry")
+    registry = ModelRegistry(root)
+    models = {}
+    for city in ("A", "B"):
+        table = OoklaSimulator(city, seed=11).generate(3_000)
+        catalog = city_catalog(city)
+        downs = np.asarray(table["download_mbps"], dtype=float)
+        ups = np.asarray(table["upload_mbps"], dtype=float)
+        result = BSTModel(catalog).fit(downs, ups)
+        registry.register(
+            registry.key_for(city, catalog),
+            result,
+            downloads=downs,
+            uploads=ups,
+        )
+        models[city] = (result, downs, ups)
+    server = build_router(
+        root,
+        RouterConfig(port=0, n_workers=N_WORKERS, default_city="A"),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServeClient(f"http://{host}:{port}", timeout_s=60.0)
+    yield client, server, models
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=30)
+
+
+def test_cities_land_on_distinct_shards():
+    shards = {
+        city: shard_for(city, city_catalog(city).isp_name, N_WORKERS)
+        for city in ("A", "B")
+    }
+    assert set(shards.values()) == set(range(N_WORKERS))
+
+
+def test_routed_assignment_is_byte_identical(fleet):
+    client, _, models = fleet
+    for city, (result, downs, ups) in models.items():
+        exact = TierAssigner(result).assign(downs[:400], ups[:400])
+        out = client.assign(
+            downs[:400].tolist(), ups[:400].tolist(), city=city
+        )
+        assert out["tiers"] == exact.tiers.tolist()
+        assert out["group_indices"] == exact.group_indices.tolist()
+        assert out["model"]["city"] == city
+
+
+def test_default_city_routes_without_selector(fleet):
+    client, _, models = fleet
+    result, downs, ups = models["A"]
+    out = client.assign(downs[:5].tolist(), ups[:5].tolist())
+    assert out["model"]["city"] == "A"
+
+
+def test_healthz_reports_fleet(fleet):
+    client, _, _ = fleet
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert health["router"]["n_workers"] == N_WORKERS
+    assert health["router"]["workers_alive"] == N_WORKERS
+    assert len(health["workers"]) == N_WORKERS
+    for worker_health in health["workers"]:
+        assert worker_health["status"] == "ok"
+
+
+def test_models_endpoint_lists_both_cities(fleet):
+    client, _, _ = fleet
+    cities = {record["city"] for record in client.models()}
+    assert cities == {"A", "B"}
+
+
+def test_metrics_aggregate_across_workers(fleet):
+    client, _, models = fleet
+    # Touch both shards so both workers hold traffic counters.
+    for city, (_, downs, ups) in models.items():
+        client.assign(downs[:3].tolist(), ups[:3].tolist(), city=city)
+    families = parse_prometheus_text(client.metrics_text())
+    # Worker families survive aggregation and keep their sample shape.
+    assert families["serve_requests_total"][0][1] > 0
+    assert families["serve_status_2xx_total"][0][1] > 0
+    assert "serve_request_latency_s_window" in families
+    # The router's own instruments ride along in the same exposition.
+    assert families["serve_router_requests_total"][0][1] > 0
+    assert families["serve_router_forwarded_total"][0][1] > 0
+    assert families["serve_router_workers_alive"][0][1] == N_WORKERS
+
+
+def test_error_relay_keeps_structured_body(fleet):
+    client, _, _ = fleet
+    with pytest.raises(ServeError) as excinfo:
+        client.assign([1.0], [1.0], city="Z")
+    assert excinfo.value.status == 404
+    assert excinfo.value.trace_id
+    with pytest.raises(ServeError) as excinfo:
+        client.assign([float("nan")], [1.0], city="A")
+    assert excinfo.value.status == 400
+    assert excinfo.value.trace_id
+
+
+def test_dead_worker_restarts_on_next_request(fleet):
+    client, server, models = fleet
+    result, downs, ups = models["A"]
+    shard = shard_for("A", city_catalog("A").isp_name, N_WORKERS)
+    handle = server.router.workers[shard]
+    old_pid = handle.pid
+    handle.proc.kill()
+    handle.proc.wait()
+    assert not handle.alive
+    out = client.assign(downs[:10].tolist(), ups[:10].tolist(), city="A")
+    exact = TierAssigner(result).assign(downs[:10], ups[:10])
+    assert out["tiers"] == exact.tiers.tolist()
+    assert handle.alive
+    assert handle.pid != old_pid
+    assert handle.restarts >= 1

@@ -221,3 +221,22 @@ def test_cli_serve_sigterm_drains_cleanly(tmp_path):
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=10)
+
+
+def test_incoming_trace_id_is_honored(served):
+    client, _ = served
+    request = urllib.request.Request(
+        f"{client.base_url}/healthz",
+        headers={"X-Trace-Id": "00deadbeef00aa11"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        assert response.headers["X-Trace-Id"] == "00deadbeef00aa11"
+    # Malformed ids are ignored; a fresh well-formed id is minted.
+    request = urllib.request.Request(
+        f"{client.base_url}/healthz",
+        headers={"X-Trace-Id": "not-a-trace-id"},
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        echoed = response.headers["X-Trace-Id"]
+        assert re.fullmatch(r"[0-9a-f]{16}", echoed)
+        assert echoed != "not-a-trace-id"
