@@ -1,8 +1,8 @@
 """Lock-discipline checker for the threaded subsystems.
 
-:mod:`repro.serve` and :mod:`repro.obs` share mutable state across
-threads (HTTP handler threads, the micro-batch worker, span/metric
-sinks).  The convention is lock-guarded attributes: state touched under
+:mod:`repro.serve`, :mod:`repro.obs`, and :mod:`repro.stream` share
+mutable state across threads (HTTP handler threads, the micro-batch
+worker, span/metric sinks, the stream monitor and refit scheduler).  The convention is lock-guarded attributes: state touched under
 ``with self._lock:`` must *always* be touched under it.  Two rules
 enforce that statically:
 
@@ -38,7 +38,7 @@ from repro.analysis.registry import register
 
 __all__ = ["InconsistentLockOrder", "UnguardedSharedState", "analyze_class"]
 
-LOCK_SCOPES = ("repro.serve", "repro.obs")
+LOCK_SCOPES = ("repro.serve", "repro.obs", "repro.stream")
 
 _LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
                    "BoundedSemaphore"}

@@ -14,6 +14,11 @@ containers.  These rules make those invariants machine-checked:
   ``seed(...)`` calls, ``os.urandom``, ``uuid.uuid4``, ``secrets``).
 - ``DET004``: iteration directly over a ``set`` in the numeric core --
   hash order varies across ``PYTHONHASHSEED`` for strings.
+- ``DET005``: any wall-clock *reference* (not just call) inside
+  ``repro.stream`` -- the streaming lifecycle is specified to be
+  deterministic under an injected clock, so even ``time.monotonic`` and
+  ``time.sleep`` are banned there outside the sanctioned bridge in
+  :mod:`repro.stream.clock`.
 
 Sanctioned exceptions (provenance timestamps, run-id entropy) carry a
 justified ``# lint: allow[...]`` directive at the call site.
@@ -30,6 +35,7 @@ from repro.analysis.registry import register
 __all__ = [
     "GlobalRandomDraw",
     "SetOrderIteration",
+    "StreamWallClock",
     "UnseededEntropy",
     "WallClockRead",
 ]
@@ -210,6 +216,78 @@ class UnseededEntropy(Rule):
             ):
                 yield self.finding(
                     ctx, node, f"ambient entropy source {dotted}()"
+                )
+
+
+# Attribute chains that touch the wall clock or real sleeping.  DET005
+# bans *references*, not just calls: `return time.monotonic` hands the
+# wall clock to a caller as surely as calling it would.
+_STREAM_CLOCK_ATTRS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("time", "process_time"),
+    ("time", "thread_time"),
+    ("time", "sleep"),
+    ("time", "gmtime"),
+    ("time", "localtime"),
+    ("time", "strftime"),
+    ("time", "ctime"),
+    ("time", "asctime"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("date", "today"),
+}
+
+
+@register
+class StreamWallClock(Rule):
+    """DET005: the streaming subsystem must use the injectable clock."""
+
+    id = "DET005"
+    name = "stream-wall-clock"
+    severity = "error"
+    scopes = ("repro.stream",)
+    description = (
+        "references the wall clock (time.* / datetime.*) inside "
+        "repro.stream; the streaming lifecycle is deterministic only "
+        "under an injected clock, so real time may enter solely through "
+        "repro.stream.clock"
+    )
+    hint = (
+        "take `clock` / `sleep` callables as parameters and wire "
+        "repro.stream.clock.system_clock()/system_sleep() at the edge"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                chain = _attr_chain(node)
+                if (
+                    len(chain) >= 2
+                    and chain[0] in ("time", "datetime", "date")
+                    and (chain[-2], chain[-1]) in _STREAM_CLOCK_ATTRS
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"wall-clock reference {'.'.join(chain)}",
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module in (
+                "time",
+                "datetime",
+            ):
+                # `from time import monotonic` would alias the clock
+                # past the attribute check above; ban the import form.
+                names = ", ".join(alias.name for alias in node.names)
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"`from {node.module} import {names}` smuggles the "
+                    "wall clock past the injectable-clock seam",
                 )
 
 

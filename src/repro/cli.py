@@ -280,8 +280,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--alert-interval", type=float, default=1.0, metavar="SECONDS",
         help="alert evaluation period (<= 0 disables the evaluator)",
     )
+    serve.add_argument(
+        "--refit", action="store_true",
+        help="attach the online lifecycle: tap served traffic into a "
+             "drift monitor and hot-swap refitted models via /reload "
+             "(see docs/STREAMING.md)",
+    )
+    serve.add_argument(
+        "--refit-interval", type=float, default=5.0, metavar="SECONDS",
+        help="drift-poll period of the refit scheduler (with --refit)",
+    )
+    serve.add_argument(
+        "--refit-window", type=float, default=60.0, metavar="SECONDS",
+        help="sliding stats window of the drift monitor (with --refit)",
+    )
     _add_seed(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    stream_cmd = subparser(
+        "stream",
+        "measurement firehose + online model lifecycle "
+        "(see docs/STREAMING.md)",
+    )
+    stream_sub = stream_cmd.add_subparsers(
+        dest="stream_command", required=True
+    )
+    stream_run = stream_sub.add_parser(
+        "run", parents=obs,
+        help="drive a simulated firehose through the drift monitor and "
+             "refit scheduler under the injected clock",
+    )
+    _add_city(stream_run, help="city (or state, for MBA)")
+    stream_run.add_argument(
+        "--vendors", default="ookla", metavar="V1[,V2...]",
+        help="comma-separated vendor streams to mux (ookla, mlab, mba)",
+    )
+    stream_run.add_argument(
+        "--registry", default="models", metavar="DIR",
+        help="model registry the warmup fit registers into and refits "
+             "hot-swap through (created if missing)",
+    )
+    stream_run.add_argument(
+        "--rate", type=float, default=2000.0, metavar="EVENTS_PER_S",
+        help="total mean arrival rate, split evenly across vendors",
+    )
+    stream_run.add_argument(
+        "--batch", type=int, default=256, help="events per micro-batch"
+    )
+    stream_run.add_argument(
+        "--pool", type=int, default=4096,
+        help="simulator-generated base pool size per vendor stream",
+    )
+    stream_run.add_argument(
+        "--duration", type=float, default=120.0, metavar="SECONDS",
+        help="stream-time duration to simulate",
+    )
+    stream_run.add_argument(
+        "--drift-at", type=float, default=None, metavar="SECONDS",
+        help="inject a drift segment starting at this stream time",
+    )
+    stream_run.add_argument(
+        "--drift-scale", type=float, default=0.5, metavar="FACTOR",
+        help="download/upload scale inside the segment (with --drift-at)",
+    )
+    stream_run.add_argument(
+        "--tier-shift", type=float, default=0.0, metavar="FRACTION",
+        help="upper-tier share dropped inside the segment "
+             "(with --drift-at)",
+    )
+    stream_run.add_argument(
+        "--window", type=float, default=60.0, metavar="SECONDS",
+        help="sliding stats window of the drift monitor",
+    )
+    stream_run.add_argument(
+        "--min-hold", type=float, default=5.0, metavar="SECONDS",
+        help="a drift breach must persist this long before a refit",
+    )
+    stream_run.add_argument(
+        "--cooldown", type=float, default=60.0, metavar="SECONDS",
+        help="per-model immunity after a refit",
+    )
+    stream_run.add_argument(
+        "--poll", type=float, default=1.0, metavar="SECONDS",
+        help="stream-time period between scheduler/alert polls",
+    )
+    _add_seed(stream_run)
+    stream_run.set_defaults(func=_cmd_stream_run)
 
     assign = subparser(
         "assign",
@@ -355,7 +439,8 @@ def build_parser() -> argparse.ArgumentParser:
         "runs", parents=obs, help="list recorded runs"
     )
     obs_runs.add_argument(
-        "--kind", choices=("cli", "experiment", "bench"), default=None
+        "--kind", choices=("cli", "experiment", "bench", "refit"),
+        default=None,
     )
     obs_runs.add_argument(
         "--name", default=None,
@@ -643,10 +728,119 @@ def _cmd_serve(args) -> int:
                 quantized=args.quantized,
             ),
         )
+    scheduler = None
+    if args.refit:
+        from repro.stream.attach import attach_refit
+
+        _, scheduler = attach_refit(
+            server,
+            interval_s=args.refit_interval,
+            window_s=args.refit_window,
+            jobs=args.jobs,
+            ledger_path=None if args.no_ledger else (args.ledger or "auto"),
+        )
     host, port = server.server_address[:2]
     # The smoke test and tooling parse this line to find the bound port.
     print(f"serving on http://{host}:{port}", flush=True)
-    return serve_until_shutdown(server)
+    try:
+        return serve_until_shutdown(server)
+    finally:
+        if scheduler is not None:
+            scheduler.stop()
+
+
+def _cmd_stream_run(args) -> int:
+    from repro.serve.registry import ModelRegistry
+    from repro.stream.clock import SimClock
+    from repro.stream.firehose import (
+        DriftSegment,
+        MeasurementStream,
+        StreamMux,
+    )
+    from repro.stream.monitor import StreamMonitor
+    from repro.stream.run import StreamSession, warmup_and_register
+    from repro.stream.scheduler import RefitPolicy, RefitScheduler
+
+    vendors = [v.strip() for v in args.vendors.split(",") if v.strip()]
+    unknown = sorted(set(vendors) - {"ookla", "mlab", "mba"})
+    if not vendors or unknown:
+        print(f"unknown vendors: {', '.join(unknown) or args.vendors!r}")
+        return 2
+    segments: tuple[DriftSegment, ...] = ()
+    if args.drift_at is not None:
+        segments = (
+            DriftSegment(
+                start_s=args.drift_at,
+                download_scale=args.drift_scale,
+                upload_scale=args.drift_scale,
+                tier_share_shift=args.tier_shift,
+            ),
+        )
+    registry = ModelRegistry(args.registry)
+    streams = [
+        MeasurementStream(
+            vendor=vendor,
+            city=args.city,
+            seed=args.seed + i,
+            events_per_s=args.rate / len(vendors),
+            batch_size=args.batch,
+            pool_size=args.pool,
+            segments=segments,
+        )
+        for i, vendor in enumerate(vendors)
+    ]
+    for stream in streams:
+        record = warmup_and_register(stream, registry, jobs=args.jobs)
+        print(
+            f"warmup: {stream.vendor} -> {record.key.slug} "
+            f"(train_size={record.train_size})"
+        )
+    source = streams[0] if len(streams) == 1 else StreamMux(streams)
+    clock = SimClock()
+    monitor = StreamMonitor(
+        registry=registry, clock=clock, window_s=args.window
+    )
+    scheduler = RefitScheduler(
+        registry=registry,
+        monitor=monitor,
+        policy=RefitPolicy(
+            min_hold_s=args.min_hold, cooldown_s=args.cooldown
+        ),
+        clock=clock,
+        jobs=args.jobs,
+        ledger_path=None if args.no_ledger else (args.ledger or "auto"),
+    )
+    session = StreamSession(
+        source, monitor, clock,
+        scheduler=scheduler,
+        poll_interval_s=args.poll,
+    )
+    summary = session.run(duration_s=args.duration)
+    alerts = summary["alerts"]
+    print(
+        f"stream: {summary['n_events']} events / "
+        f"{summary['n_batches']} batches over "
+        f"{summary['stream_t_s']:.0f}s stream time"
+    )
+    print(
+        f"alerts: fired={alerts['fired']} resolved={alerts['resolved']} "
+        f"active={alerts['active']}"
+    )
+    refits = summary["refits"]
+    print(f"refits: {len(refits)}")
+    for refit in refits:
+        print(
+            f"  {refit['model']}: "
+            f"drift_to_swap={refit['drift_to_swap_s']:.2f}s "
+            f"n={refit['n_samples']} trigger={refit['trigger']}"
+        )
+    args.run_results = {
+        "events": float(summary["n_events"]),
+        "refits": float(len(refits)),
+        "alerts_fired": float(alerts["fired"]),
+        "stream_t_s": float(summary["stream_t_s"]),
+    }
+    return 0
 
 
 def _cmd_assign(args) -> int:

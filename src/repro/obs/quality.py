@@ -285,6 +285,9 @@ class _NullQualityMonitor:
     def field(self, name: str, outlier_above: float = DEFAULT_OUTLIER_ABOVE):
         return _NULL_FIELD
 
+    def drop_fields(self, prefix: str) -> int:
+        return 0
+
     def observe_assignments(self, tiers: Any) -> None:
         pass
 
@@ -458,6 +461,22 @@ class QualityMonitor:
                     name, outlier_above=outlier_above
                 )
             return mon
+
+    def drop_fields(self, prefix: str) -> int:
+        """Forget every field monitor whose name starts with ``prefix``.
+
+        Serving uses this on model hot-swap: the per-model drift fields
+        must restart from scratch (``warming_up``) against the new
+        model's training stats instead of carrying the drifted history.
+        Returns the number of monitors dropped.
+        """
+        with self._lock:
+            victims = [
+                name for name in self._fields if name.startswith(prefix)
+            ]
+            for name in victims:
+                del self._fields[name]
+            return len(victims)
 
     def observe_assignments(self, tiers: Any) -> None:
         """Record a batch of per-measurement tier assignments."""

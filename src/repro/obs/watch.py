@@ -57,6 +57,23 @@ def take_snapshot(client: Any) -> dict[str, Any]:
         )
         for quantile in ("0.5", "0.95", "0.99")
     }
+    stream = None
+    if any(name.startswith("stream_") for name in series):
+        stream = {
+            "events_total": _sample(series, "stream_events_total"),
+            "events_rate": _sample(series, "stream_events_rate"),
+            "lag_s": _sample(series, "stream_lag_s"),
+            "drifted_models": _sample(series, "stream_drifted_models"),
+            "active_refits": _sample(series, "stream_active_refits"),
+            "refits_total": _sample(series, "stream_refits_total"),
+            "refit_failures_total": _sample(
+                series, "stream_refit_failures_total"
+            ),
+            "refit_p95_s": _sample(
+                series, "stream_refit_latency_s_window", quantile="0.95"
+            ),
+            "reloads_total": _sample(series, "serve_reloads_total"),
+        }
     return {
         "window": window or "n/a",
         "uptime_s": health.get("uptime_s", float("nan")),
@@ -69,6 +86,7 @@ def take_snapshot(client: Any) -> dict[str, Any]:
         "models_loaded": health.get("models_loaded", 0),
         "drift": health.get("drift", []),
         "alerts": health.get("alerts", {}),
+        "stream": stream,
     }
 
 
@@ -105,6 +123,23 @@ def render_snapshot(snap: dict[str, Any]) -> str:
         f"fired={alerts.get('fired', 0)} "
         f"resolved={alerts.get('resolved', 0)}",
     ]
+    stream = snap.get("stream")
+    if stream is not None:
+        # The panel appears only when the server actually emits
+        # stream.* metrics (repro serve --refit / repro stream run).
+        lines.append(
+            f"stream     events={_num(stream['events_total'])} "
+            f"rate={_num(stream['events_rate'], '/s')} "
+            f"lag={_num(stream['lag_s'], 's')}"
+        )
+        lines.append(
+            f"lifecycle  refits={_num(stream['refits_total'])} "
+            f"failed={_num(stream['refit_failures_total'])} "
+            f"active={_num(stream['active_refits'])} "
+            f"drifted={_num(stream['drifted_models'])} "
+            f"reloads={_num(stream['reloads_total'])} "
+            f"swap_p95={_num(stream['refit_p95_s'], 's')}"
+        )
     for alert in active:
         lines.append(
             f"  ! [{alert['severity']}] {alert['rule']}: "

@@ -7,14 +7,29 @@ server's structured error body (``code`` / ``message`` / ``trace_id``),
 so callers can distinguish a bad request (400) from a missing model
 (404) and quote the trace id when reporting a failure.  Every call
 accepts a per-request ``timeout_s`` overriding the client default.
+
+503 responses are **retried**: the server answers queue saturation and
+shutdown-in-progress with a structured 503 plus ``Retry-After``
+(see ``serve.server._route_post``), and the client honours it -- up to
+``retries`` extra attempts, sleeping the server-suggested delay (capped
+at ``max_backoff_s``) or, when the header is missing or unparseable, a
+deterministic exponential backoff ``backoff_s * 2**attempt``.  There is
+deliberately no jitter: two identical client runs issue identical
+request schedules, which keeps serving tests and benchmarks
+reproducible.  ``retries=0`` opts out entirely.  Each retry bumps the
+``serve.client.retries`` counter (visible whenever the process has a
+metrics registry installed).
 """
 
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
+
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["ServeClient", "ServeError"]
 
@@ -48,14 +63,37 @@ class ServeError(RuntimeError):
 class ServeClient:
     """Client for one assignment-service endpoint.
 
+    ``retries`` bounds how many extra attempts a 503 earns (0 disables
+    retrying); ``backoff_s`` seeds the deterministic fallback backoff
+    and ``max_backoff_s`` caps any single sleep, including
+    server-suggested ``Retry-After`` values.  ``sleep`` is injectable
+    for tests.
+
     >>> client = ServeClient("http://127.0.0.1:8731")  # doctest: +SKIP
     >>> client.assign([110.0], [5.5])["tiers"]         # doctest: +SKIP
     [0]
     """
 
-    def __init__(self, base_url: str, timeout_s: float = 10.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout_s: float = 10.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        max_backoff_s: float = 2.0,
+        sleep: Callable[[float], None] | None = None,
+    ):
+        if retries < 0:
+            raise ValueError("retries cannot be negative")
+        if backoff_s < 0 or max_backoff_s < 0:
+            raise ValueError("backoff intervals cannot be negative")
         self.base_url = base_url.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self.retries = int(retries)
+        self.backoff_s = float(backoff_s)
+        self.max_backoff_s = float(max_backoff_s)
+        self._sleep = sleep if sleep is not None else time.sleep
+        self.n_retries = 0  # lifetime count, mirrors serve.client.retries
 
     # ------------------------------------------------------------------
     def assign(
@@ -101,6 +139,15 @@ class ServeClient:
         """GET ``/healthz``; returns the health document."""
         return self._request("GET", "/healthz", None, timeout_s)
 
+    def reload(
+        self,
+        slugs: Sequence[str] | None = None,
+        timeout_s: float | None = None,
+    ) -> dict[str, Any]:
+        """POST ``/reload``; hot-swap models (None reloads all)."""
+        payload = {"slugs": list(slugs)} if slugs else {}
+        return self._request("POST", "/reload", payload, timeout_s)
+
     def metrics_text(self, timeout_s: float | None = None) -> str:
         """GET ``/metrics``; returns the raw Prometheus exposition text."""
         return self._open("GET", "/metrics", None, timeout_s).decode(
@@ -132,21 +179,49 @@ class ServeClient:
         if payload is not None:
             data = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(
-            url, data=data, headers=headers, method=method
-        )
         timeout = self.timeout_s if timeout_s is None else float(timeout_s)
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                url, data=data, headers=headers, method=method
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=timeout
+                ) as response:
+                    return response.read()
+            except urllib.error.HTTPError as exc:
+                if exc.code == 503 and attempt < self.retries:
+                    delay = self._retry_delay(exc, attempt)
+                    exc.read()  # drain so the connection can be reused
+                    self.n_retries += 1
+                    obs_metrics.counter("serve.client.retries").inc()
+                    self._sleep(delay)
+                    continue
+                raise _serve_error(exc) from exc
+            except urllib.error.URLError as exc:
+                raise ServeError(
+                    0, f"cannot reach {url}: {exc.reason}"
+                ) from exc
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _retry_delay(
+        self, exc: urllib.error.HTTPError, attempt: int
+    ) -> float:
+        """The server's ``Retry-After`` (seconds), else the fallback.
+
+        Deterministic by construction: no jitter, so a given attempt
+        number always waits the same time.
+        """
+        header = ""
+        if exc.headers is not None:
+            header = exc.headers.get("Retry-After", "") or ""
         try:
-            with urllib.request.urlopen(
-                request, timeout=timeout
-            ) as response:
-                return response.read()
-        except urllib.error.HTTPError as exc:
-            raise _serve_error(exc) from exc
-        except urllib.error.URLError as exc:
-            raise ServeError(
-                0, f"cannot reach {url}: {exc.reason}"
-            ) from exc
+            delay = float(header)
+            if delay < 0:
+                raise ValueError
+        except ValueError:
+            delay = self.backoff_s * (2.0**attempt)
+        return min(delay, self.max_backoff_s)
 
 
 def _serve_error(exc: urllib.error.HTTPError) -> ServeError:

@@ -14,7 +14,10 @@ contract as the single-process server:
   health document;
 - ``GET /metrics``  -- the workers' expositions scraped, parsed, and
   aggregated (counters/gauges summed, quantile samples combined by
-  max) with the router's own ``serve.router.*`` instruments appended.
+  max) with the router's own ``serve.router.*`` instruments appended;
+- ``POST /reload``  -- fanned out to the owning shards (all shards for
+  an empty body) so a drift-triggered refit hot-swaps every worker
+  serving the affected model; see docs/STREAMING.md.
 
 A worker that dies (crash, OOM kill) is restarted on the next request
 that needs its shard — ``serve.router.worker_restarts`` counts these —
@@ -49,7 +52,12 @@ from repro.obs.metrics import (
     render_prometheus,
 )
 from repro.obs.trace import new_trace_id
-from repro.serve.registry import ModelRecord, ModelRegistry, shard_for
+from repro.serve.registry import (
+    ModelKey,
+    ModelRecord,
+    ModelRegistry,
+    shard_for,
+)
 
 log = get_logger("serve.router")
 
@@ -66,6 +74,12 @@ _SERVING_RE = re.compile(r"serving on http://([^\s:]+):(\d+)")
 def _escape_label(value: str) -> str:
     """Escape a label value per the Prometheus text exposition rules."""
     return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _slug_city_isp(slug: str) -> tuple[str, str]:
+    """The ``(city, isp)`` a model slug shards by (raises ValueError)."""
+    key = ModelKey.from_slug(slug)
+    return key.city, key.isp
 
 
 @dataclass(frozen=True)
@@ -237,6 +251,10 @@ class _RouterService:
         self.workers = workers
         self.metrics = MetricsRegistry()
         self._started = time.monotonic()
+        # Optional observer of successfully-forwarded traffic, called as
+        # tap(city, isp, downloads, uploads); repro.stream.attach points
+        # this at a StreamMonitor when `repro serve --refit` is on.
+        self.stream_tap = None
 
     # -- routing ---------------------------------------------------------
     def resolve_record(self, payload: dict[str, Any]) -> ModelRecord:
@@ -296,10 +314,14 @@ class _RouterService:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _post(
-        self, handle: WorkerHandle, body: bytes, trace_id: str
+        self,
+        handle: WorkerHandle,
+        body: bytes,
+        trace_id: str,
+        path: str = "/assign",
     ) -> tuple[int, bytes]:
         request = urllib.request.Request(
-            f"{handle.base_url}/assign",
+            f"{handle.base_url}{path}",
             data=body,
             headers={
                 "Content-Type": "application/json",
@@ -315,6 +337,53 @@ class _RouterService:
         except urllib.error.HTTPError as exc:
             # Structured worker error (400/404/503/...): relay verbatim.
             return exc.code, exc.read()
+
+    def reload_models(
+        self, slugs: list[str] | None = None, trace_id: str = ""
+    ) -> dict[str, Any]:
+        """Fan ``POST /reload`` out to the shards that own ``slugs``.
+
+        None (or an empty list) reloads every worker.  The router's own
+        registry cache is evicted too, so ``resolve_record`` sees fresh
+        index entries.  Worker outcomes are reported per shard; an
+        unreachable worker is an error row, not a failed fan-out.
+        """
+        self.registry.evict_cache()
+        if slugs:
+            shards = sorted(
+                {
+                    shard_for(*_slug_city_isp(slug), self.config.n_workers)
+                    for slug in slugs
+                }
+            )
+        else:
+            shards = list(range(len(self.workers)))
+        body = json.dumps({"slugs": slugs} if slugs else {}).encode("utf-8")
+        reloaded: list[str] = []
+        worker_rows: list[dict[str, Any]] = []
+        for shard in shards:
+            handle = self.workers[shard]
+            try:
+                status, payload = self._post(
+                    handle, body, trace_id or new_trace_id(), path="/reload"
+                )
+                row: dict[str, Any] = {"shard": shard, "status": status}
+                if status == 200:
+                    outcome = json.loads(payload)
+                    row["reloaded"] = outcome.get("reloaded", [])
+                    reloaded.extend(row["reloaded"])
+            except (urllib.error.URLError, ConnectionError, OSError) as exc:
+                row = {"shard": shard, "error": str(exc)}
+            worker_rows.append(row)
+        self.metrics.counter("serve.router.reloads").inc()
+        log.info(
+            "fanned out model reload",
+            extra=kv(
+                shards=",".join(str(s) for s in shards),
+                models=",".join(reloaded) if reloaded else "(none)",
+            ),
+        )
+        return {"reloaded": sorted(set(reloaded)), "workers": worker_rows}
 
     # -- aggregation -----------------------------------------------------
     def scrape_worker(self, handle: WorkerHandle, path: str) -> bytes:
@@ -526,6 +595,9 @@ class _RouterHandler(BaseHTTPRequestHandler):
     def _route_post(self) -> None:
         path = self.path.split("?", 1)[0]
         router = self.server.router
+        if path == "/reload":
+            self._route_reload()
+            return
         if path != "/assign":
             self._error(404, f"unknown path {path!r}")
             return
@@ -562,6 +634,57 @@ class _RouterHandler(BaseHTTPRequestHandler):
             self._error(502, f"worker unavailable: {exc}")
             return
         self._send_body(status, response, "application/json")
+        if status == 200:
+            tap = router.stream_tap
+            if tap is not None:
+                try:
+                    tap(
+                        record.key.city,
+                        record.key.isp,
+                        payload.get("downloads", ()),
+                        payload.get("uploads", ()),
+                    )
+                # lint: allow[COR003] the tap must never fail a request
+                except Exception as exc:
+                    log.warning(
+                        "stream tap failed", extra=kv(error=repr(exc))
+                    )
+
+    def _route_reload(self) -> None:
+        """``POST /reload``: fan the hot-swap out to the worker fleet."""
+        router = self.server.router
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > router.config.max_body_bytes:
+            self._error(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{router.config.max_body_bytes}-byte limit",
+            )
+            return
+        slugs = None
+        if length > 0:
+            try:
+                payload = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError as exc:
+                self._error(400, f"invalid JSON body: {exc}")
+                return
+            if not isinstance(payload, dict):
+                self._error(400, "reload body must be a JSON object")
+                return
+            slugs = payload.get("slugs")
+            if slugs is not None and (
+                not isinstance(slugs, list)
+                or not all(isinstance(s, str) for s in slugs)
+            ):
+                self._error(400, "'slugs' must be a list of model slugs")
+                return
+        try:
+            response = router.reload_models(slugs, trace_id=self._trace_id)
+        except ValueError as exc:
+            self._error(400, str(exc))
+            return
+        response["trace_id"] = self._trace_id
+        self._send_json(200, response)
 
 
 class RouterServer(ThreadingHTTPServer):

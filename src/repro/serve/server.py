@@ -13,7 +13,12 @@ framework) exposing
   count, per-model drift status, and active alerts;
 - ``GET /metrics`` -- Prometheus text exposition of the service's
   dedicated registry (cumulative totals plus windowed rates and
-  latency quantiles; see docs/ALERTING.md).
+  latency quantiles; see docs/ALERTING.md);
+- ``POST /reload`` -- hot-swap models: drop loaded state (optionally
+  limited to a ``{"slugs": [...]}`` body) so the next request resolves
+  the freshest registration.  The refit scheduler
+  (:mod:`repro.stream.scheduler`) calls this after registering a
+  drift-triggered refit; see docs/STREAMING.md.
 
 Every request gets a fresh ``trace_id`` (echoed in the ``X-Trace-Id``
 response header, ``/assign`` responses, and error JSON) and — when the
@@ -50,7 +55,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any
+from typing import Any, Callable
 
 import numpy as np
 
@@ -162,6 +167,11 @@ class AssignmentService:
         # only not-drifted -> drifted *transitions*, so its rate tracks
         # drift events rather than /healthz or alert-loop polling.
         self._drift_flagged: dict[str, bool] = {}
+        # Optional observer of successfully-assigned traffic, called as
+        # tap(city, isp, downloads, uploads).  The stream lifecycle
+        # (repro.stream.attach) points this at a StreamMonitor so live
+        # serving traffic feeds the refit scheduler's windowed stats.
+        self.stream_tap: Callable[[str, str, Any, Any], None] | None = None
 
     def start_alerting(self) -> None:
         """Start the background alert evaluator (idempotent)."""
@@ -279,9 +289,23 @@ class AssignmentService:
             config_hash=payload.get("config_hash"),
         )
         if payload.get("stream") and downloads.size == 1:
-            tier, group = self.batcher_for(loaded).assign_one(
-                float(downloads[0]), float(uploads[0])
-            )
+            try:
+                tier, group = self.batcher_for(loaded).assign_one(
+                    float(downloads[0]), float(uploads[0])
+                )
+            except BatcherClosedError:
+                # A /reload hot-swap closed this model's batcher under
+                # us.  Re-resolve (loading the fresh registration) and
+                # retry once, so a swap never surfaces as a 5xx burst;
+                # a second closure means real shutdown and propagates.
+                loaded = self.resolve(
+                    city=payload.get("city"),
+                    isp=payload.get("isp"),
+                    config_hash=payload.get("config_hash"),
+                )
+                tier, group = self.batcher_for(loaded).assign_one(
+                    float(downloads[0]), float(uploads[0])
+                )
             tiers = [tier]
             groups = [group]
             n_fallback = 0
@@ -322,6 +346,9 @@ class AssignmentService:
         self.quality.field(f"serve.{slug}.upload_mbps").observe_array(
             uploads
         )
+        tap = self.stream_tap
+        if tap is not None:
+            tap(loaded.key.city, loaded.key.isp, downloads, uploads)
 
     # -- drift -----------------------------------------------------------
     def drift_status(self) -> list[dict[str, Any]]:
@@ -440,6 +467,45 @@ class AssignmentService:
             },
         }
 
+    def reload(self, slugs: list[str] | None = None) -> dict[str, Any]:
+        """Hot-swap models: drop loaded state so the next request
+        resolves the freshest registration.
+
+        ``slugs`` limits the swap to those models; None reloads all.
+        In-flight requests keep the complete model object they already
+        resolved (old *or* new, never torn); the next resolve reloads
+        from the registry, whose cache is evicted here.  Per-model
+        drift state restarts from ``warming_up`` against the new
+        ``training_stats``, so a post-refit ``/healthz`` verdict
+        returns to ok instead of comparing fresh traffic with a stale
+        baseline.
+        """
+        self.registry.evict_cache()
+        with self._lock:
+            if slugs is None:
+                victims = list(self._loaded)
+            else:
+                victims = [s for s in slugs if s in self._loaded]
+            dropped = [self._loaded.pop(s) for s in victims]
+            for slug in victims:
+                self._drift_flagged.pop(slug, None)
+            n_loaded = len(self._loaded)
+        for model in dropped:
+            with model.lock:
+                if model.batcher is not None:
+                    model.batcher.close()
+                    model.batcher = None
+        for slug in victims:
+            self.quality.drop_fields(f"serve.{slug}.")
+        for registry in (self.metrics, obs_metrics.get_registry()):
+            registry.counter("serve.reloads").inc()
+            registry.gauge("serve.models_loaded").set(n_loaded)
+        log.info(
+            "hot-swapped models",
+            extra=kv(models=",".join(victims) if victims else "(none)"),
+        )
+        return {"reloaded": victims, "models_loaded": n_loaded}
+
     def models(self) -> list[dict[str, Any]]:
         # lint: allow[DET002] age_s compares against stored epoch stamps
         now = time.time()
@@ -467,6 +533,7 @@ _ENDPOINT_SLUGS = {
     "/healthz": "healthz",
     "/models": "models",
     "/metrics": "metrics",
+    "/reload": "reload",
 }
 
 # A well-formed trace id (16 lowercase hex chars, see obs.trace).  The
@@ -624,6 +691,9 @@ class _Handler(BaseHTTPRequestHandler):
     def _route_post(self) -> None:
         path = self.path.split("?", 1)[0]
         service = self.server.service
+        if path == "/reload":
+            self._route_reload()
+            return
         if path != "/assign":
             self._error(404, f"unknown path {path!r}")
             return
@@ -668,6 +738,38 @@ class _Handler(BaseHTTPRequestHandler):
                 headers={"Retry-After": "1"},
             )
             return
+        response["trace_id"] = self._trace_id
+        self._send_json(200, response)
+
+    def _route_reload(self) -> None:
+        """``POST /reload``: hot-swap models (empty body reloads all)."""
+        service = self.server.service
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > service.config.max_body_bytes:
+            self._error(
+                413,
+                f"request body of {length} bytes exceeds the "
+                f"{service.config.max_body_bytes}-byte limit",
+            )
+            return
+        slugs = None
+        if length > 0:
+            try:
+                payload = json.loads(self.rfile.read(length))
+            except json.JSONDecodeError as exc:
+                self._error(400, f"invalid JSON body: {exc}")
+                return
+            if not isinstance(payload, dict):
+                self._error(400, "reload body must be a JSON object")
+                return
+            slugs = payload.get("slugs")
+            if slugs is not None and (
+                not isinstance(slugs, list)
+                or not all(isinstance(s, str) for s in slugs)
+            ):
+                self._error(400, "'slugs' must be a list of model slugs")
+                return
+        response = service.reload(slugs)
         response["trace_id"] = self._trace_id
         self._send_json(200, response)
 

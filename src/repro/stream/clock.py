@@ -1,0 +1,79 @@
+"""Injectable clocks for the streaming subsystem.
+
+Every ``repro.stream`` component that needs the current time takes a
+``clock`` callable (and, where it waits, a ``sleep`` callable) instead
+of reading the wall clock directly -- the DET005 lint rule enforces
+this for the whole package, so a simulated run under :class:`SimClock`
+is deterministic down to the drift-to-swap latency histogram.  This
+module is the single sanctioned bridge to the real clock.
+
+- :class:`SimClock` -- a manually-advanced clock for simulation and
+  tests.  ``sleep`` advances it, so code written against an injectable
+  ``(clock, sleep)`` pair runs instantly and deterministically.
+- :func:`system_clock` / :func:`system_sleep` -- the real monotonic
+  clock, for ``repro serve --refit`` against live traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["SimClock", "system_clock", "system_sleep"]
+
+
+class SimClock:
+    """A monotonic clock that only moves when told to.
+
+    Thread-safe: the stream driver advances it from the feed loop while
+    monitor windows and scheduler debounce timers read it concurrently.
+
+    Examples
+    --------
+    >>> clock = SimClock()
+    >>> clock.advance(2.5)
+    >>> clock.now()
+    2.5
+    >>> clock.advance_to(2.0)  # never moves backwards
+    >>> clock.now()
+    2.5
+    """
+
+    def __init__(self, start_s: float = 0.0):
+        self._lock = threading.Lock()
+        self._now = float(start_s)
+
+    def now(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, dt_s: float) -> None:
+        if dt_s < 0:
+            raise ValueError("a monotonic clock cannot move backwards")
+        with self._lock:
+            self._now += float(dt_s)
+
+    def advance_to(self, t_s: float) -> None:
+        """Advance to ``t_s`` if it is ahead; no-op otherwise."""
+        with self._lock:
+            self._now = max(self._now, float(t_s))
+
+    def sleep(self, dt_s: float) -> None:
+        """Injectable ``sleep``: advancing time is all sleeping means here."""
+        self.advance(max(dt_s, 0.0))
+
+    def __call__(self) -> float:
+        return self.now()
+
+
+def system_clock() -> Callable[[], float]:
+    """The real monotonic clock, for serving live traffic."""
+    # lint: allow[DET005] the one sanctioned wall-clock bridge
+    return time.monotonic
+
+
+def system_sleep() -> Callable[[float], None]:
+    """The real ``sleep``, paired with :func:`system_clock`."""
+    # lint: allow[DET005] the one sanctioned wall-clock bridge
+    return time.sleep

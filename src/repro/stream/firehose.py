@@ -1,0 +1,352 @@
+"""Measurement firehose: seeded, time-stamped micro-batches.
+
+Crowdsourced speed tests arrive continuously; this module turns the
+repo's static vendor simulators (:mod:`repro.vendors`) into a stream
+source.  A :class:`MeasurementStream` seeds one *base pool* of events
+through the real simulator (so the marginal speed/tier/context
+distributions are the calibrated vendor ones), then emits micro-batches
+by vectorised bootstrap resampling from that pool with a small
+multiplicative jitter -- the per-row Python loop inside the simulators
+tops out around 5k rows/s, far below streaming rates, while the
+resampling path sustains hundreds of thousands of events per second
+with the same marginals.  Everything is deterministic per ``seed``.
+
+Stream time is *simulated*: event ``k`` is stamped by integrating the
+configured arrival rate, optionally modulated by the paper's Figure 11
+diurnal profile (:data:`~repro.vendors.schema.DIURNAL_BIN_WEIGHTS`), so
+a batch knows exactly when its events "happened" regardless of how fast
+the caller drains the stream.  Real-time pacing, when wanted, is the
+caller's job (sleep until the wall clock catches up with ``t_s``).
+
+Drift is injected declaratively: a :class:`DriftSegment` names a
+stream-time interval and how the traffic changes inside it --
+download/upload scaling (congestion onset, an access-network incident)
+and tier-share shift (the subscriber mix drifting toward lower tiers,
+as the bias-correction literature observes month over month).
+
+:class:`StreamMux` merges several vendor streams into one feed in
+timestamp order, buffering at most one pending batch per source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.pipeline.ndt_join import join_ndt_tests
+from repro.vendors.schema import DIURNAL_BIN_WEIGHTS
+
+__all__ = [
+    "DriftSegment",
+    "MeasurementStream",
+    "StreamBatch",
+    "StreamMux",
+]
+
+_VENDORS = ("ookla", "mlab", "mba")
+
+
+@dataclass(frozen=True)
+class DriftSegment:
+    """One stream-time interval in which the traffic distribution shifts.
+
+    ``download_scale`` / ``upload_scale`` multiply measured speeds for
+    events inside the segment (0.4 models severe congestion onset).
+    ``tier_share_shift`` drops that fraction of upper-half-tier events,
+    shifting the subscriber mix toward lower tiers.
+    """
+
+    start_s: float
+    duration_s: float = float("inf")
+    download_scale: float = 1.0
+    upload_scale: float = 1.0
+    tier_share_shift: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0:
+            raise ValueError("segment start_s cannot be negative")
+        if self.duration_s <= 0:
+            raise ValueError("segment duration_s must be positive")
+        if self.download_scale <= 0 or self.upload_scale <= 0:
+            raise ValueError("speed scales must be positive")
+        if not 0.0 <= self.tier_share_shift < 1.0:
+            raise ValueError("tier_share_shift must be in [0, 1)")
+
+    def active(self, t_s: np.ndarray) -> np.ndarray:
+        """Boolean mask of event timestamps inside the segment."""
+        t_s = np.asarray(t_s, dtype=float)
+        return (t_s >= self.start_s) & (t_s < self.start_s + self.duration_s)
+
+
+@dataclass
+class StreamBatch:
+    """One micro-batch of normalised measurement events."""
+
+    vendor: str
+    city: str
+    isp: str
+    t_s: float  # stream time of the batch's last event
+    timestamps_s: np.ndarray  # per event, ascending
+    downloads: np.ndarray  # Mbps
+    uploads: np.ndarray  # Mbps
+    tiers: np.ndarray  # ground-truth plan tier per event (int64)
+    hours: np.ndarray  # stream-derived local hour per event (0-23)
+
+    def __len__(self) -> int:
+        return len(self.downloads)
+
+
+def _diurnal_factor(hour: float) -> float:
+    """Arrival-rate multiplier for one local hour (mean 1.0)."""
+    bin_index = int(hour // 6) % len(DIURNAL_BIN_WEIGHTS)
+    return DIURNAL_BIN_WEIGHTS[bin_index] * len(DIURNAL_BIN_WEIGHTS)
+
+
+class MeasurementStream:
+    """Seeded micro-batch source over one vendor simulator.
+
+    Parameters
+    ----------
+    vendor:
+        ``ookla`` | ``mlab`` | ``mba``.  M-Lab's one-directional NDT
+        records are session-joined (:func:`join_ndt_tests`) before they
+        enter the pool, so every emitted event is a download/upload pair.
+    city:
+        City id (state id for the MBA panel).
+    events_per_s:
+        Mean arrival rate; with ``diurnal=True`` it is modulated by the
+        Figure 11 time-of-day profile around this mean.
+    batch_size:
+        Events per emitted :class:`StreamBatch`.
+    pool_size:
+        Size of the simulator-generated base pool events are resampled
+        from.
+    jitter_sigma:
+        Log-normal sigma of the per-event multiplicative speed jitter
+        applied on top of the resampled pool values (0 disables).
+    segments:
+        Drift segments to apply, in any order.
+    start_s:
+        Stream-time origin (e.g. ``8 * 3600.0`` starts mid-morning).
+
+    Examples
+    --------
+    >>> stream = MeasurementStream("ookla", "A", seed=7, pool_size=512)
+    >>> batch = stream.next_batch()
+    >>> len(batch), batch.city
+    (256, 'A')
+    >>> bool(batch.timestamps_s[-1] == batch.t_s)
+    True
+    """
+
+    def __init__(
+        self,
+        vendor: str = "ookla",
+        city: str = "A",
+        seed: int = 0,
+        events_per_s: float = 1000.0,
+        batch_size: int = 256,
+        pool_size: int = 4096,
+        jitter_sigma: float = 0.05,
+        diurnal: bool = True,
+        segments: Sequence[DriftSegment] = (),
+        start_s: float = 0.0,
+    ):
+        if vendor not in _VENDORS:
+            raise ValueError(
+                f"unknown vendor {vendor!r}; expected one of {_VENDORS}"
+            )
+        if events_per_s <= 0:
+            raise ValueError("events_per_s must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if pool_size < batch_size:
+            raise ValueError("pool_size must be >= batch_size")
+        if jitter_sigma < 0:
+            raise ValueError("jitter_sigma cannot be negative")
+        self.vendor = vendor
+        self.city = city.upper()
+        self.seed = int(seed)
+        self.events_per_s = float(events_per_s)
+        self.batch_size = int(batch_size)
+        self.pool_size = int(pool_size)
+        self.jitter_sigma = float(jitter_sigma)
+        self.diurnal = bool(diurnal)
+        self.segments = tuple(
+            sorted(segments, key=lambda seg: seg.start_s)
+        )
+        self._t = float(start_s)
+        self._rng = np.random.default_rng(self.seed + 104729)
+        self._pool: dict[str, np.ndarray] | None = None
+        self.isp = ""
+        self.catalog = None  # PlanCatalog, set when the pool builds
+        self.n_emitted = 0
+
+    # -- base pool -------------------------------------------------------
+    def _build_pool(self) -> dict[str, np.ndarray]:
+        """Generate the base pool through the real vendor simulator."""
+        if self.vendor == "ookla":
+            from repro.vendors.ookla import OoklaSimulator
+
+            sim = OoklaSimulator(self.city, seed=self.seed)
+            table = sim.generate(self.pool_size)
+            tiers = table["true_tier"]
+        elif self.vendor == "mlab":
+            from repro.vendors.mlab import MLabSimulator
+
+            sim = MLabSimulator(self.city, seed=self.seed)
+            # Sessions yield ~1 joined pair each; generate a margin so
+            # the joined pool is at least pool_size rows.
+            table = join_ndt_tests(sim.generate(self.pool_size * 2))
+            tiers = table["true_tier"]
+        else:
+            from repro.vendors.mba import MBASimulator
+
+            sim = MBASimulator(self.city, seed=self.seed)
+            table = sim.generate(self.pool_size)
+            tiers = table["tier"]
+        self.isp = sim.catalog.isp_name
+        self.catalog = sim.catalog
+        downloads = np.asarray(table["download_mbps"], dtype=float)
+        uploads = np.asarray(table["upload_mbps"], dtype=float)
+        tiers = np.asarray(tiers, dtype=np.int64)
+        keep = (downloads > 0) & (uploads > 0)
+        n = min(int(keep.sum()), self.pool_size)
+        if n == 0:
+            raise RuntimeError(
+                f"{self.vendor} simulator produced no usable events"
+            )
+        idx = np.flatnonzero(keep)[:n]
+        return {
+            "downloads": downloads[idx],
+            "uploads": uploads[idx],
+            "tiers": tiers[idx],
+        }
+
+    @property
+    def pool(self) -> dict[str, np.ndarray]:
+        if self._pool is None:
+            self._pool = self._build_pool()
+        return self._pool
+
+    # -- emission --------------------------------------------------------
+    def next_batch(self) -> StreamBatch:
+        """Emit the next micro-batch and advance stream time."""
+        pool = self.pool
+        n = self.batch_size
+        hour_now = (self._t / 3600.0) % 24.0
+        factor = _diurnal_factor(hour_now) if self.diurnal else 1.0
+        rate = self.events_per_s * factor
+        dt = n / rate
+        timestamps = self._t + (np.arange(1, n + 1, dtype=float) / n) * dt
+        self._t = float(timestamps[-1])
+
+        idx = self._rng.integers(0, len(pool["downloads"]), size=n)
+        downloads = pool["downloads"][idx].copy()
+        uploads = pool["uploads"][idx].copy()
+        tiers = pool["tiers"][idx].copy()
+        if self.jitter_sigma > 0:
+            downloads *= np.exp(
+                self._rng.normal(0.0, self.jitter_sigma, size=n)
+            )
+            uploads *= np.exp(
+                self._rng.normal(0.0, self.jitter_sigma, size=n)
+            )
+
+        keep = np.ones(n, dtype=bool)
+        for segment in self.segments:
+            mask = segment.active(timestamps)
+            if not mask.any():
+                continue
+            downloads[mask] *= segment.download_scale
+            uploads[mask] *= segment.upload_scale
+            if segment.tier_share_shift > 0.0:
+                upper = tiers > np.median(pool["tiers"])
+                drop = (
+                    mask
+                    & upper
+                    & (self._rng.random(n) < segment.tier_share_shift)
+                )
+                keep &= ~drop
+        if not keep.all():
+            timestamps = timestamps[keep]
+            downloads = downloads[keep]
+            uploads = uploads[keep]
+            tiers = tiers[keep]
+        hours = ((timestamps / 3600.0) % 24.0).astype(np.int64)
+        self.n_emitted += len(downloads)
+        return StreamBatch(
+            vendor=self.vendor,
+            city=self.city,
+            isp=self.isp,
+            t_s=self._t,
+            timestamps_s=timestamps,
+            downloads=downloads,
+            uploads=uploads,
+            tiers=tiers,
+            hours=hours,
+        )
+
+    def batches(self, n_batches: int) -> Iterator[StreamBatch]:
+        """Emit ``n_batches`` micro-batches."""
+        for _ in range(max(n_batches, 0)):
+            yield self.next_batch()
+
+    @property
+    def t_s(self) -> float:
+        """Current stream time (the last emitted event's timestamp)."""
+        return self._t
+
+
+class StreamMux:
+    """Bounded fan-in merging vendor streams in timestamp order.
+
+    Buffers exactly one pending batch per source (the bound), pops the
+    one with the earliest ``t_s``, and refills from that source -- so a
+    fast vendor never starves a slow one and merged output timestamps
+    are non-decreasing.
+
+    Examples
+    --------
+    >>> a = MeasurementStream("ookla", "A", seed=1, pool_size=512,
+    ...                       events_per_s=500.0)
+    >>> b = MeasurementStream("mba", "A", seed=2, pool_size=512,
+    ...                       events_per_s=200.0)
+    >>> mux = StreamMux([a, b])
+    >>> first = mux.next_batch()
+    >>> second = mux.next_batch()
+    >>> bool(first.t_s <= second.t_s)
+    True
+    """
+
+    def __init__(self, streams: Sequence[MeasurementStream]):
+        streams = list(streams)
+        if not streams:
+            raise ValueError("StreamMux needs at least one source stream")
+        self.streams = streams
+        self._pending: list[StreamBatch | None] = [None] * len(streams)
+
+    @property
+    def max_buffered(self) -> int:
+        """The fan-in bound: one pending batch per source."""
+        return len(self.streams)
+
+    def next_batch(self) -> StreamBatch:
+        """The buffered batch with the earliest stream timestamp."""
+        for i, batch in enumerate(self._pending):
+            if batch is None:
+                self._pending[i] = self.streams[i].next_batch()
+        earliest = min(
+            range(len(self._pending)),
+            key=lambda i: self._pending[i].t_s,  # type: ignore[union-attr]
+        )
+        batch = self._pending[earliest]
+        self._pending[earliest] = None
+        assert batch is not None
+        return batch
+
+    def batches(self, n_batches: int) -> Iterator[StreamBatch]:
+        for _ in range(max(n_batches, 0)):
+            yield self.next_batch()

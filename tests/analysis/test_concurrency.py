@@ -282,3 +282,15 @@ class TestScoping:
             if f.rule_id.startswith("LOCK")
         ]
         assert findings == []
+
+
+class TestStreamScope:
+    def test_lock_rules_cover_repro_stream(self):
+        findings = [
+            f
+            for f in check_source(
+                REGISTRY_SHAPED, relpath="repro/stream/fixture.py"
+            )
+            if f.rule_id.startswith("LOCK")
+        ]
+        assert [f.rule_id for f in findings] == ["LOCK001"]

@@ -261,3 +261,57 @@ class TestOBS002Inventory:
         assert "^bst\\.fit$" in patterns
         assert any("[a-z0-9_]+" in p for p in patterns)
         assert any(".+" in p for p in patterns)
+
+
+class TestDET005StreamWallClock:
+    STREAM = "repro/stream/example.py"
+
+    def test_monotonic_reference_flagged_in_stream(self):
+        # DET002 allows monotonic clocks; DET005 bans even referencing
+        # them inside repro.stream.
+        source = "import time\nclock = time.monotonic\n"
+        assert ids_of(source, relpath=self.STREAM) == ["DET005"]
+
+    def test_sleep_call_flagged_in_stream(self):
+        source = "import time\ntime.sleep(1.0)\n"
+        assert ids_of(source, relpath=self.STREAM) == ["DET005"]
+
+    def test_from_time_import_flagged(self):
+        # `from time import monotonic` would alias the clock past the
+        # attribute check, so the import form itself is banned.
+        source = "from time import monotonic\nt = monotonic()\n"
+        assert ids_of(source, relpath=self.STREAM) == ["DET005"]
+
+    def test_wall_clock_read_double_flagged(self):
+        source = "import time\nt = time.time()\n"
+        assert sorted(ids_of(source, relpath=self.STREAM)) == [
+            "DET002",
+            "DET005",
+        ]
+
+    def test_injected_clock_is_clean(self):
+        source = _src(
+            """
+            def tick(clock, sleep):
+                sleep(1.0)
+                return clock()
+            """
+        )
+        assert ids_of(source, relpath=self.STREAM) == []
+
+    def test_monotonic_is_fine_outside_stream(self):
+        source = "import time\nclock = time.monotonic\n"
+        assert ids_of(source, relpath="repro/serve/example.py") == []
+
+    def test_allow_directive_covers_the_bridge(self):
+        source = _src(
+            """
+            import time
+
+
+            def system_clock():
+                # lint: allow[DET005] the one sanctioned bridge
+                return time.monotonic
+            """
+        )
+        assert ids_of(source, relpath=self.STREAM) == []

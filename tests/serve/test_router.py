@@ -146,3 +146,33 @@ def test_dead_worker_restarts_on_next_request(fleet):
     assert handle.alive
     assert handle.pid != old_pid
     assert handle.restarts >= 1
+
+
+def test_reload_fans_out_to_owning_shard(fleet, tmp_path):
+    """POST /reload re-registers + hot-swaps through the router."""
+    client, server, models = fleet
+    registry = server.router.registry
+    result, downs, ups = models["A"]
+    catalog = city_catalog("A")
+    key = registry.key_for("A", catalog)
+    slug = key.slug
+    new_fit = BSTModel(catalog).fit(downs * 0.35, ups * 0.35)
+    new_expected = TierAssigner(new_fit).assign(downs[:50], ups[:50])
+    old_expected = TierAssigner(result).assign(downs[:50], ups[:50])
+    assert new_expected.tiers.tolist() != old_expected.tiers.tolist()
+    try:
+        registry.register(key, new_fit, downloads=downs, uploads=ups)
+        out = client.reload([slug])
+        assert slug in out["reloaded"]
+        assert len(out["workers"]) == 1  # only the owning shard
+        assert out["workers"][0]["status"] == 200
+        swapped = client.assign(
+            downs[:50].tolist(), ups[:50].tolist(), city="A"
+        )
+        assert swapped["tiers"] == new_expected.tiers.tolist()
+    finally:
+        # Restore the original generation for any later test.
+        registry.register(key, result, downloads=downs, uploads=ups)
+        client.reload([slug])
+    back = client.assign(downs[:50].tolist(), ups[:50].tolist(), city="A")
+    assert back["tiers"] == old_expected.tiers.tolist()

@@ -1,0 +1,168 @@
+"""Firehose tests: determinism, drift injection, diurnal pacing, mux."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.clock import SimClock
+from repro.stream.firehose import DriftSegment, MeasurementStream, StreamMux
+
+
+def _stream(**kwargs) -> MeasurementStream:
+    defaults = dict(
+        vendor="ookla", city="A", seed=7, events_per_s=500.0,
+        batch_size=128, pool_size=512, diurnal=False,
+    )
+    defaults.update(kwargs)
+    return MeasurementStream(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical(self):
+        a = [_stream().next_batch() for _ in range(3)]
+        b = [_stream().next_batch() for _ in range(3)]
+        for batch_a, batch_b in zip(a, b):
+            np.testing.assert_array_equal(
+                batch_a.timestamps_s, batch_b.timestamps_s
+            )
+            np.testing.assert_array_equal(batch_a.downloads, batch_b.downloads)
+            np.testing.assert_array_equal(batch_a.uploads, batch_b.uploads)
+            np.testing.assert_array_equal(batch_a.tiers, batch_b.tiers)
+
+    def test_different_seeds_differ(self):
+        a = _stream(seed=1).next_batch()
+        b = _stream(seed=2).next_batch()
+        assert not np.array_equal(a.downloads, b.downloads)
+
+    def test_timestamps_ascend_across_batches(self):
+        stream = _stream()
+        previous = 0.0
+        for batch in stream.batches(5):
+            assert batch.timestamps_s[0] > previous
+            assert np.all(np.diff(batch.timestamps_s) > 0)
+            assert batch.t_s == batch.timestamps_s[-1]
+            previous = batch.t_s
+
+
+class TestValidation:
+    def test_unknown_vendor(self):
+        with pytest.raises(ValueError, match="unknown vendor"):
+            MeasurementStream("comcast")
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError, match="events_per_s"):
+            _stream(events_per_s=0.0)
+
+    def test_bad_segment(self):
+        with pytest.raises(ValueError, match="tier_share_shift"):
+            DriftSegment(start_s=0.0, tier_share_shift=1.0)
+        with pytest.raises(ValueError, match="scales"):
+            DriftSegment(start_s=0.0, download_scale=0.0)
+
+
+class TestDriftSegments:
+    def test_download_scale_applies_inside_window(self):
+        clean = _stream()
+        segment = DriftSegment(
+            start_s=0.0, download_scale=0.5, upload_scale=0.5
+        )
+        drifted = _stream(segments=[segment])
+        a = clean.next_batch()
+        b = drifted.next_batch()
+        np.testing.assert_allclose(b.downloads, a.downloads * 0.5)
+        np.testing.assert_allclose(b.uploads, a.uploads * 0.5)
+
+    def test_segment_inactive_before_start(self):
+        segment = DriftSegment(start_s=1e6, download_scale=0.5)
+        a = _stream().next_batch()
+        b = _stream(segments=[segment]).next_batch()
+        np.testing.assert_array_equal(a.downloads, b.downloads)
+
+    def test_tier_share_shift_drops_upper_tiers(self):
+        stream = _stream()
+        pool_median = np.median(stream.pool["tiers"])
+        shifted = _stream(
+            segments=[DriftSegment(start_s=0.0, tier_share_shift=0.9)]
+        )
+
+        def upper_share(source, n=20):
+            tiers = np.concatenate(
+                [batch.tiers for batch in source.batches(n)]
+            )
+            return float(np.mean(tiers > pool_median))
+
+        assert upper_share(shifted) < upper_share(stream) * 0.5
+
+    def test_dropped_rows_shrink_the_batch(self):
+        stream = _stream(
+            segments=[DriftSegment(start_s=0.0, tier_share_shift=0.9)]
+        )
+        batch = stream.next_batch()
+        assert 0 < len(batch) < stream.batch_size
+
+
+class TestDiurnal:
+    def test_rate_modulation_changes_batch_duration(self):
+        # Start at midnight vs mid-day: different diurnal bins, so the
+        # same batch size spans different stream-time durations.
+        night = _stream(diurnal=True, start_s=0.0).next_batch()
+        day = _stream(diurnal=True, start_s=13 * 3600.0).next_batch()
+        night_span = night.timestamps_s[-1] - night.timestamps_s[0]
+        day_span = day.timestamps_s[-1] - day.timestamps_s[0]
+        assert night_span != pytest.approx(day_span)
+
+    def test_hours_derive_from_stream_time(self):
+        batch = _stream(start_s=13 * 3600.0).next_batch()
+        assert set(batch.hours) == {13}
+
+
+class TestVendors:
+    @pytest.mark.parametrize("vendor", ["ookla", "mlab", "mba"])
+    def test_pool_builds_positive_pairs(self, vendor):
+        stream = _stream(vendor=vendor, pool_size=256, batch_size=64)
+        batch = stream.next_batch()
+        assert np.all(batch.downloads > 0)
+        assert np.all(batch.uploads > 0)
+        assert stream.isp
+        assert stream.catalog is not None
+
+
+class TestStreamMux:
+    def test_merged_timestamps_non_decreasing(self):
+        mux = StreamMux(
+            [
+                _stream(seed=1, events_per_s=500.0),
+                _stream(seed=2, events_per_s=200.0, vendor="mba"),
+            ]
+        )
+        stamps = [batch.t_s for batch in mux.batches(12)]
+        assert stamps == sorted(stamps)
+
+    def test_buffer_bound_is_one_per_source(self):
+        mux = StreamMux([_stream(seed=1), _stream(seed=2)])
+        assert mux.max_buffered == 2
+
+    def test_empty_mux_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            StreamMux([])
+
+
+class TestSimClock:
+    def test_advance_and_sleep(self):
+        clock = SimClock()
+        assert clock.now() == 0.0
+        clock.advance(1.5)
+        clock.sleep(0.5)
+        assert clock() == 2.0
+
+    def test_advance_to_is_monotonic(self):
+        clock = SimClock(start_s=10.0)
+        clock.advance_to(5.0)  # never goes backwards
+        assert clock.now() == 10.0
+        clock.advance_to(12.0)
+        assert clock.now() == 12.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)

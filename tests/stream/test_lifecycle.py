@@ -1,0 +1,216 @@
+"""End-to-end online lifecycle under the injected clock.
+
+The acceptance scenario: a live server serves the warmup model; the
+firehose drifts; the monitor's rolling verdict flags it; the
+``model_drift`` alert fires; the scheduler refits exactly one shard
+(debounced), registers it, and hot-swaps the server via ``POST
+/reload``; the alert resolves; post-swap assignments are byte-identical
+to a fresh offline fit on the same sample; and the refit lands in the
+run ledger with full provenance.  Everything runs on a ``SimClock``, so
+the timings (including drift-to-swap latency) are deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.bst import BSTModel
+from repro.obs.alerts import AlertEngine, default_serve_rules
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runs import RunLedger
+from repro.serve.client import ServeClient
+from repro.serve.engine import TierAssigner
+from repro.serve.registry import ModelRegistry
+from repro.serve.server import ServeConfig, build_server
+from repro.stream.clock import SimClock
+from repro.stream.firehose import DriftSegment, MeasurementStream
+from repro.stream.monitor import StreamMonitor
+from repro.stream.run import StreamSession, warmup_and_register
+from repro.stream.scheduler import RefitPolicy, RefitScheduler
+
+
+@pytest.fixture(scope="module")
+def lifecycle(tmp_path_factory):
+    """Run the whole scenario once; tests assert its facets."""
+    tmp = tmp_path_factory.mktemp("lifecycle")
+    registry = ModelRegistry(tmp / "registry")
+    segments = [
+        # Congestion onset at t=30 (speeds drop to 40%), then a second,
+        # deeper incident at t=75 while the refit is still cooling down.
+        DriftSegment(
+            start_s=30.0, duration_s=45.0,
+            download_scale=0.4, upload_scale=0.4,
+        ),
+        DriftSegment(
+            start_s=75.0, download_scale=0.15, upload_scale=0.15
+        ),
+    ]
+    stream = MeasurementStream(
+        "ookla", "A", seed=7, events_per_s=400.0, batch_size=128,
+        pool_size=1024, diurnal=False, segments=segments,
+    )
+    record = warmup_and_register(stream, registry)
+
+    server = build_server(
+        registry,
+        ServeConfig(port=0, default_city="A", alert_interval_s=0.0),
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServeClient(f"http://{host}:{port}")
+
+    probe_d = stream.pool["downloads"][:32] * 0.4
+    probe_u = stream.pool["uploads"][:32] * 0.4
+    pre_assign = client.assign(probe_d.tolist(), probe_u.tolist())
+
+    clock = SimClock()
+    monitor = StreamMonitor(
+        registry=registry, clock=clock, window_s=20.0,
+        min_samples=150, sample_cap=1024,
+    )
+    captured: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    original_recent = monitor.recent_sample
+
+    def capturing_recent(city, isp):
+        downs, ups = original_recent(city, isp)
+        captured.setdefault("sample", (downs.copy(), ups.copy()))
+        return downs, ups
+
+    monitor.recent_sample = capturing_recent  # type: ignore[method-assign]
+    ledger_path = tmp / "runs.jsonl"
+    scheduler = RefitScheduler(
+        registry=registry,
+        monitor=monitor,
+        policy=RefitPolicy(min_hold_s=2.0, cooldown_s=300.0),
+        clock=clock,
+        reload_cb=lambda slugs: client.reload(slugs),
+        ledger_path=str(ledger_path),
+    )
+    alerts = AlertEngine(
+        default_serve_rules(),
+        registry=MetricsRegistry(clock=clock),
+        drift_provider=monitor.verdicts,
+        clock=clock,
+    )
+    session = StreamSession(
+        stream, monitor, clock, scheduler=scheduler, alerts=alerts,
+        poll_interval_s=1.0,
+    )
+
+    healthy = session.run(duration_s=35.0)
+    recovered = session.run(duration_s=30.0)  # drift -> refit -> ok
+    post_assign = client.assign(probe_d.tolist(), probe_u.tolist())
+    post_health = client.healthz()
+    cooldown = session.run(duration_s=30.0)  # second breach, no refit
+
+    yield {
+        "registry": registry,
+        "record": record,
+        "stream": stream,
+        "client": client,
+        "session": session,
+        "captured": captured,
+        "ledger_path": ledger_path,
+        "probe": (probe_d, probe_u),
+        "pre_assign": pre_assign,
+        "post_assign": post_assign,
+        "post_health": post_health,
+        "healthy": healthy,
+        "recovered": recovered,
+        "cooldown": cooldown,
+    }
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+def test_healthy_phase_has_no_drift_and_no_refit(lifecycle):
+    healthy = lifecycle["healthy"]
+    assert healthy["refits"] == []
+    assert all(not v["drifted"] for v in healthy["verdicts"])
+    assert healthy["alerts"]["fired"] == 0
+
+
+def test_drift_fires_alert_then_resolves(lifecycle):
+    events = lifecycle["session"].alert_events
+    drift_events = [e for e in events if e["rule"] == "model_drift"]
+    assert [e["event"] for e in drift_events][:2] == ["fired", "resolved"]
+    recovered = lifecycle["recovered"]
+    assert recovered["alerts"]["fired"] >= 1
+    assert recovered["alerts"]["resolved"] >= 1
+
+
+def test_exactly_one_debounced_refit(lifecycle):
+    refits = lifecycle["recovered"]["refits"]
+    assert len(refits) == 1
+    refit = refits[0]
+    assert refit["model"] == lifecycle["record"].key.slug
+    assert refit["old_digest"] == lifecycle["record"].digest
+    assert refit["new_digest"] != refit["old_digest"]
+    # Deterministic debounce latency: min_hold (2.0) rounded up to the
+    # poll cadence, plus the fit itself on the sim clock (zero-time).
+    assert 2.0 <= refit["drift_to_swap_s"] <= 4.0
+
+
+def test_verdict_recovers_after_rebaseline(lifecycle):
+    final = lifecycle["recovered"]["verdicts"]
+    assert len(final) == 1
+    assert not final[0]["drifted"]
+
+
+def test_hot_swap_reached_the_server(lifecycle):
+    refit = lifecycle["recovered"]["refits"][0]
+    post = lifecycle["post_assign"]
+    assert lifecycle["pre_assign"]["model"]["digest"] == (
+        lifecycle["record"].digest
+    )
+    assert post["model"]["digest"] == refit["new_digest"]
+    assert lifecycle["post_health"]["status"] == "ok"
+
+
+def test_post_swap_assignments_match_offline_fit(lifecycle):
+    downs, ups = lifecycle["captured"]["sample"]
+    offline = BSTModel(lifecycle["stream"].catalog).fit(downs, ups)
+    probe_d, probe_u = lifecycle["probe"]
+    expected = TierAssigner(offline).assign(probe_d, probe_u)
+    post = lifecycle["post_assign"]
+    assert post["tiers"] == expected.tiers.tolist()
+    assert post["group_indices"] == expected.group_indices.tolist()
+
+
+def test_second_breach_inside_cooldown_does_not_refit(lifecycle):
+    cooldown = lifecycle["cooldown"]
+    # The summary's refit list is cumulative: no NEW refit this phase.
+    assert cooldown["refits"] == lifecycle["recovered"]["refits"]
+    assert any(v["drifted"] for v in cooldown["verdicts"])
+    assert len(lifecycle["session"].refits) == 1
+
+
+def test_refit_recorded_in_ledger_with_provenance(lifecycle):
+    ledger = RunLedger(str(lifecycle["ledger_path"]))
+    manifests = ledger.matching(kind="refit")
+    assert len(manifests) == 1
+    manifest = manifests[0]
+    refit = lifecycle["recovered"]["refits"][0]
+    assert manifest.name == "stream.refit"
+    assert manifest.params["model"] == refit["model"]
+    assert manifest.params["old_digest"] == refit["old_digest"]
+    assert manifest.params["new_digest"] == refit["new_digest"]
+    assert manifest.params["trigger"]["download_mbps"]["status"] == (
+        "drifted"
+    )
+    assert manifest.results["drift_to_swap_s"] == pytest.approx(
+        refit["drift_to_swap_s"]
+    )
+
+
+def test_registry_now_serves_the_refit(lifecycle):
+    registry = lifecycle["registry"]
+    record = registry.lookup(lifecycle["record"].key)
+    assert record.digest == (
+        lifecycle["recovered"]["refits"][0]["new_digest"]
+    )
